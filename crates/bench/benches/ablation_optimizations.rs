@@ -1,0 +1,22 @@
+//! Bench for experiment E8: ablation over the streaming design choices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use spikestream::experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ablation_optimizations", |b| {
+        b.iter(|| {
+            let rows = ablation(std::hint::black_box(2));
+            assert_eq!(rows.len(), 4);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

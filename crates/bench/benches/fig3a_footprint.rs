@@ -1,0 +1,23 @@
+//! Bench for experiment E1 (Fig. 3a): ifmap footprint AER vs CSR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use spikestream::experiments::fig3a_footprint;
+use spikestream_bench::BENCH_BATCH;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3a_footprint", |b| {
+        b.iter(|| {
+            let rows = fig3a_footprint(std::hint::black_box(BENCH_BATCH));
+            assert_eq!(rows.len(), 8);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

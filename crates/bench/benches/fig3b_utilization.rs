@@ -1,0 +1,23 @@
+//! Bench for experiment E2 (Fig. 3b): FPU utilization and IPC per layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use spikestream::experiments::fig3b_utilization;
+use spikestream_bench::BENCH_BATCH;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3b_utilization", |b| {
+        b.iter(|| {
+            let rows = fig3b_utilization(std::hint::black_box(BENCH_BATCH));
+            assert!(rows.iter().all(|r| r.util_spikestream > r.util_baseline));
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for experiment E3 (Fig. 3c): per-layer speedups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use spikestream::experiments::fig3c_speedup;
+use spikestream_bench::BENCH_BATCH;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3c_speedup", |b| {
+        b.iter(|| {
+            let rows = fig3c_speedup(std::hint::black_box(BENCH_BATCH));
+            assert!(rows.iter().all(|r| r.spikestream_fp16_over_baseline > 1.0));
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for experiment E4 (Fig. 4): per-layer energy and power.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use spikestream::experiments::fig4_energy;
+use spikestream_bench::BENCH_BATCH;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig4_energy", |b| {
+        b.iter(|| {
+            let rows = fig4_energy(std::hint::black_box(BENCH_BATCH));
+            assert_eq!(rows.len(), 8);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

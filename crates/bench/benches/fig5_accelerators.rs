@@ -1,0 +1,24 @@
+//! Bench for experiments E5/E6 (Fig. 5): comparison with neuromorphic
+//! accelerators on the 6th S-VGG11 layer over 500 timesteps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use spikestream::experiments::fig5_accelerators;
+use spikestream_bench::BENCH_BATCH;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig5_accelerators", |b| {
+        b.iter(|| {
+            let rows = fig5_accelerators(500, std::hint::black_box(BENCH_BATCH));
+            assert_eq!(rows.len(), 7);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

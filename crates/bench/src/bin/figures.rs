@@ -1,0 +1,56 @@
+//! Regenerate the paper's figures as text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p spikestream-bench --bin figures             # all figures, batch 128
+//! cargo run --release -p spikestream-bench --bin figures -- --fig 3c # one figure
+//! cargo run --release -p spikestream-bench --bin figures -- --batch 16
+//! ```
+
+use spikestream_bench::{all_figures, paper_batch, print_figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fig: Option<String> = None;
+    let mut batch = paper_batch();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                fig = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--batch" => {
+                batch = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("invalid --batch value, falling back to {}", paper_batch());
+                        paper_batch()
+                    });
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--fig 3a|3b|3c|4|5|headline|ablation] [--batch N]");
+                return;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+
+    let figures: Vec<String> = match fig {
+        Some(f) => vec![f],
+        None => all_figures().iter().map(|s| s.to_string()).collect(),
+    };
+    println!("SpikeStream reproduction — batch size {batch}\n");
+    for f in figures {
+        match print_figure(&f, batch) {
+            Ok(table) => println!("{table}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # SpikeStream
+//!
+//! Reproduction of *SpikeStream: Accelerating Spiking Neural Network
+//! Inference on RISC-V Clusters with Sparse Computation Extensions*
+//! (DATE 2025) as a Rust library.
+//!
+//! SpikeStream is a software optimization technique that runs spiking
+//! neural network (SNN) inference on a general-purpose RISC-V compute
+//! cluster (the Snitch cluster) and maps the sparse, indirection-heavy
+//! weight gathers of event-driven convolution onto the cluster's stream
+//! semantic registers and FP hardware loops. This crate ties together the
+//! substrates of the workspace — the architectural model (`snitch-arch`),
+//! the memory system (`snitch-mem`), the cluster simulator (`snitch-sim`),
+//! the SNN substrate (`spikestream-snn`), the kernels
+//! (`spikestream-kernels`), the energy model (`spikestream-energy`) and the
+//! neuromorphic-accelerator models (`neuro-accel-models`) — behind one
+//! public API:
+//!
+//! * [`Engine`] runs a network under an [`InferenceConfig`] (code variant,
+//!   floating-point format, timing model, batch size) and produces an
+//!   [`InferenceReport`] with per-layer runtime, utilization, IPC, power
+//!   and energy;
+//! * [`experiments`] regenerates every figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spikestream::{Engine, InferenceConfig, KernelVariant, TimingModel};
+//! use spikestream::FpFormat;
+//!
+//! let engine = Engine::svgg11(42);
+//! let baseline = engine.run(&InferenceConfig {
+//!     variant: KernelVariant::Baseline,
+//!     format: FpFormat::Fp16,
+//!     timing: TimingModel::Analytic,
+//!     batch: 4,
+//!     seed: 7,
+//! });
+//! let streamed = engine.run(&InferenceConfig {
+//!     variant: KernelVariant::SpikeStream,
+//!     format: FpFormat::Fp16,
+//!     timing: TimingModel::Analytic,
+//!     batch: 4,
+//!     seed: 7,
+//! });
+//! assert!(streamed.total_cycles() < baseline.total_cycles());
+//! ```
+
+pub mod engine;
+pub mod experiments;
+pub mod report;
+
+pub use engine::{Engine, InferenceConfig, TimingModel};
+pub use report::{InferenceReport, LayerReport};
+
+// Re-export the vocabulary types users need to drive the engine.
+pub use neuro_accel_models::{AcceleratorResult, AcceleratorSpec};
+pub use snitch_arch::fp::FpFormat;
+pub use snitch_arch::{ClusterConfig, CostModel};
+pub use spikestream_energy::{Activity, EnergyModel};
+pub use spikestream_kernels::KernelVariant;
+pub use spikestream_snn::{FiringProfile, Network};

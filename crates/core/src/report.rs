@@ -1,0 +1,156 @@
+//! Inference reports: per-layer and end-to-end statistics.
+
+use serde::{Deserialize, Serialize};
+
+use snitch_arch::fp::FpFormat;
+use spikestream_kernels::KernelVariant;
+
+/// Statistics of one network layer, averaged over the evaluated batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name (e.g. `conv3`).
+    pub name: String,
+    /// Mean runtime in cycles.
+    pub cycles: f64,
+    /// Standard deviation of the runtime across the batch.
+    pub cycles_std: f64,
+    /// Mean runtime in seconds at the cluster clock.
+    pub seconds: f64,
+    /// Mean FPU utilization (0..=1).
+    pub fpu_utilization: f64,
+    /// Mean instructions per cycle per core.
+    pub ipc: f64,
+    /// Mean firing rate of the layer's input.
+    pub input_firing_rate: f64,
+    /// Mean synaptic operations executed.
+    pub synops: f64,
+    /// Mean energy in joules.
+    pub energy_j: f64,
+    /// Mean power in watts.
+    pub power_w: f64,
+    /// Mean compressed (CSR-derived) ifmap footprint in bytes.
+    pub csr_footprint_bytes: f64,
+    /// Mean AER ifmap footprint in bytes.
+    pub aer_footprint_bytes: f64,
+}
+
+/// End-to-end inference report for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Network name.
+    pub network: String,
+    /// Code variant that produced the report.
+    pub variant: KernelVariant,
+    /// Storage format that produced the report.
+    pub format: FpFormat,
+    /// Number of batch samples averaged.
+    pub batch: usize,
+    /// Per-layer statistics in execution order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl InferenceReport {
+    /// Total mean runtime in cycles over all layers.
+    pub fn total_cycles(&self) -> f64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total mean runtime in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.layers.iter().map(|l| l.seconds).sum()
+    }
+
+    /// Total mean energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy_j).sum()
+    }
+
+    /// Runtime-weighted average FPU utilization.
+    pub fn average_utilization(&self) -> f64 {
+        let total: f64 = self.total_cycles();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.layers.iter().map(|l| l.fpu_utilization * l.cycles).sum::<f64>() / total
+    }
+
+    /// Average power over the full inference.
+    pub fn average_power_w(&self) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / t
+        }
+    }
+
+    /// End-to-end speedup of this report relative to `other`.
+    pub fn speedup_over(&self, other: &InferenceReport) -> f64 {
+        other.total_cycles() / self.total_cycles().max(1.0)
+    }
+
+    /// End-to-end energy-efficiency gain of this report relative to `other`.
+    pub fn energy_gain_over(&self, other: &InferenceReport) -> f64 {
+        other.total_energy_j() / self.total_energy_j().max(f64::MIN_POSITIVE)
+    }
+
+    /// Look up a layer report by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerReport> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, cycles: f64, util: f64, energy: f64) -> LayerReport {
+        LayerReport {
+            name: name.into(),
+            cycles,
+            cycles_std: 0.0,
+            seconds: cycles / 1e9,
+            fpu_utilization: util,
+            ipc: 1.0,
+            input_firing_rate: 0.2,
+            synops: 1000.0,
+            energy_j: energy,
+            power_w: energy / (cycles / 1e9),
+            csr_footprint_bytes: 100.0,
+            aer_footprint_bytes: 300.0,
+        }
+    }
+
+    fn report(cycles: f64, energy: f64) -> InferenceReport {
+        InferenceReport {
+            network: "test".into(),
+            variant: KernelVariant::Baseline,
+            format: FpFormat::Fp16,
+            batch: 1,
+            layers: vec![layer("a", cycles, 0.1, energy), layer("b", cycles, 0.5, energy)],
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_layers() {
+        let r = report(1000.0, 1e-6);
+        assert_eq!(r.total_cycles(), 2000.0);
+        assert!((r.total_energy_j() - 2e-6).abs() < 1e-12);
+        assert!((r.average_utilization() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_and_energy_gain_are_relative() {
+        let slow = report(10_000.0, 1e-5);
+        let fast = report(2_000.0, 4e-6);
+        assert!((fast.speedup_over(&slow) - 5.0).abs() < 1e-9);
+        assert!((fast.energy_gain_over(&slow) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_lookup_by_name() {
+        let r = report(1.0, 1.0);
+        assert!(r.layer("a").is_some());
+        assert!(r.layer("zzz").is_none());
+    }
+}

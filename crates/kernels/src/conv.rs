@@ -1,0 +1,498 @@
+//! Compressed spiking convolution kernels (baseline and SpikeStream).
+//!
+//! Both variants implement the dataflow of Fig. 2b of the paper: receptive
+//! fields (output spatial positions) are distributed over the worker cores
+//! by workload stealing; within a receptive field, each SIMD group of
+//! output channels accumulates, for every filter position, the weights
+//! selected by the active input channels of the compressed ifmap (one
+//! Sparse Vector Accumulation, SpVA, per filter position); the LIF
+//! activation is fused at the end of each group and the output spikes are
+//! written back in compressed form.
+//!
+//! The two variants differ only in how the SpVA is executed:
+//!
+//! * **Baseline** — the scalar indirection loop of Listing 1b: per element,
+//!   seven integer instructions surround a single useful `fadd`.
+//! * **SpikeStream** — Listing 1c: an indirect stream register gathers the
+//!   weights while an FREP hardware loop keeps the FPU accumulating, so
+//!   the integer core merely sets up the next stream.
+
+use snitch_arch::fp::FpFormat;
+use snitch_arch::isa::{FpOp, IntOp, StreamPattern};
+use snitch_arch::{SsrId, TraceOp};
+use snitch_sim::ClusterModel;
+use spikestream_snn::compress::INDEX_BYTES;
+use spikestream_snn::reference::max_pool_2x2;
+use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, SpikeMap, Tensor3};
+
+use crate::schedule::WorkStealingScheduler;
+use crate::tiling::TilingPlanner;
+use crate::KernelVariant;
+
+/// Approximate code footprints (bytes) of the kernel regions, used by the
+/// instruction-cache model.
+const CODE_REGION_CONV_BASELINE: (u64, u32) = (0x10, 1280);
+const CODE_REGION_CONV_SPIKESTREAM: (u64, u32) = (0x11, 1792);
+const CODE_REGION_ACTIVATION: (u64, u32) = (0x12, 640);
+
+/// Functional and structural result of one convolutional layer invocation.
+#[derive(Debug, Clone)]
+pub struct ConvKernelOutput {
+    /// Accumulated input currents of every output neuron (quantized to the
+    /// kernel's storage format).
+    pub currents: Tensor3,
+    /// Output spikes before pooling.
+    pub spikes: SpikeMap,
+    /// Output spikes after the optional 2x2 pooling stage.
+    pub output: SpikeMap,
+    /// Compressed form of [`Self::output`], ready for the next layer.
+    pub compressed: CompressedIfmap,
+}
+
+/// A spiking convolution kernel bound to a code variant and storage format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvKernel {
+    variant: KernelVariant,
+    format: FpFormat,
+}
+
+impl ConvKernel {
+    /// Create a kernel for the given variant and floating-point format.
+    pub fn new(variant: KernelVariant, format: FpFormat) -> Self {
+        ConvKernel { variant, format }
+    }
+
+    /// The code variant this kernel emits.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The storage format of weights and activations.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// Run one convolutional layer on the cluster.
+    ///
+    /// `input` must be the compressed, padded ifmap of the layer and
+    /// `state` the dense membrane state of its output neurons. The call
+    /// advances the per-core timing models of `cluster`; obtain the layer's
+    /// statistics with [`ClusterModel::finish_phase`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is not convolutional, if the input shape does not
+    /// match the padded layer input, or if the neuron state has the wrong
+    /// size.
+    pub fn run(
+        &self,
+        cluster: &mut ClusterModel,
+        layer: &Layer,
+        input: &CompressedIfmap,
+        state: &mut LifState,
+    ) -> ConvKernelOutput {
+        let LayerKind::Conv(spec) = &layer.kind else {
+            panic!("ConvKernel requires a convolutional layer");
+        };
+        assert_eq!(input.shape(), spec.padded_input(), "input must be padded");
+        let out_shape = spec.conv_output();
+        assert_eq!(state.len(), out_shape.len(), "neuron state size mismatch");
+
+        let lanes = self.format.simd_lanes() as usize;
+        let groups = spec.out_channels.div_ceil(lanes);
+        let elem_bytes = self.format.bytes();
+
+        // Tiling, double buffering and DMA traffic.
+        let plan = TilingPlanner::new(cluster.config()).plan_conv(spec, self.format, input);
+        plan.issue_dma(cluster);
+
+        let weights_base = plan.weights.base;
+        let idcs_base = plan.ifmap_idcs.base;
+        let sptr_base = plan.ifmap_sptr.base;
+        let state_base = plan.neuron_state.base;
+        let spm_bytes = cluster.config().spm_bytes.max(1);
+        // Byte address of the SIMD weight group for (kh, kw, group): the
+        // grouped weight layout stores, per filter position and group, the
+        // `in_c` gatherable SIMD words contiguously.
+        let group_words = spec.input.c as u32;
+        let word_bytes = (lanes as u32) * elem_bytes;
+        let weight_group_base = |kh: usize, kw: usize, g: usize| -> u32 {
+            let offset = (((kh * spec.kw + kw) * groups + g) as u32) * group_words * word_bytes;
+            weights_base.wrapping_add(offset % spm_bytes)
+        };
+
+        let mut scheduler = WorkStealingScheduler::new(cluster.worker_cores());
+        let mut currents = Tensor3::zeros(out_shape);
+        let mut spikes = SpikeMap::silent(out_shape);
+
+        let (region_id, region_bytes) = match self.variant {
+            KernelVariant::Baseline => CODE_REGION_CONV_BASELINE,
+            KernelVariant::SpikeStream => CODE_REGION_CONV_SPIKESTREAM,
+        };
+
+        for oh in 0..out_shape.h {
+            for ow in 0..out_shape.w {
+                let core = scheduler.claim(cluster);
+                cluster.fetch_code(core, region_id, region_bytes);
+                cluster.fetch_code(core, CODE_REGION_ACTIVATION.0, CODE_REGION_ACTIVATION.1);
+
+                // Active input channels at every filter position of this RF.
+                let rf_active: Vec<&[u16]> = (0..spec.kh * spec.kw)
+                    .map(|k| {
+                        let (kh, kw) = (k / spec.kw, k % spec.kw);
+                        input.active_at(oh * spec.stride + kh, ow * spec.stride + kw)
+                    })
+                    .collect();
+
+                for g in 0..groups {
+                    self.run_group(
+                        cluster, core, layer, spec, input, &rf_active, oh, ow, g, lanes,
+                        GroupAddresses {
+                            weights_base: &weight_group_base,
+                            idcs_base,
+                            sptr_base,
+                            state_base,
+                        },
+                        &mut currents,
+                        &mut spikes,
+                        state,
+                    );
+                }
+            }
+        }
+
+        // Every core joins its outstanding FP work at the end of the layer.
+        for core in 0..cluster.worker_cores() {
+            cluster.core_mut(core).exec(&TraceOp::Barrier);
+        }
+
+        let output = if spec.pool { max_pool_2x2(&spikes) } else { spikes.clone() };
+        let compressed = CompressedIfmap::from_spike_map(&output);
+        ConvKernelOutput { currents, spikes, output, compressed }
+    }
+
+    /// Process one SIMD output-channel group of one receptive field.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group(
+        &self,
+        cluster: &mut ClusterModel,
+        core: usize,
+        layer: &Layer,
+        spec: &ConvSpec,
+        input: &CompressedIfmap,
+        rf_active: &[&[u16]],
+        oh: usize,
+        ow: usize,
+        g: usize,
+        lanes: usize,
+        addrs: GroupAddresses<'_>,
+        currents: &mut Tensor3,
+        spikes: &mut SpikeMap,
+        state: &mut LifState,
+    ) -> usize {
+        let out_shape = spec.conv_output();
+        let core_model = cluster.core_mut(core);
+
+        // Load the membrane potentials of the group into an FP register and
+        // compute the group's weight base address.
+        core_model.exec(&TraceOp::Fp {
+            op: FpOp::Load,
+            format: self.format,
+            ssr_srcs: vec![],
+            addr: Some(addrs.state_base),
+        });
+        core_model.exec(&TraceOp::alu());
+        core_model.exec(&TraceOp::alu());
+
+        for k in 0..spec.kh * spec.kw {
+            let (kh, kw) = (k / spec.kw, k % spec.kw);
+            let active = rf_active[k];
+            let s_len = active.len();
+
+            // Outer-loop control of Listing 1a: row-pointer bookkeeping,
+            // spatial-coordinate computation and the two `s_ptr` loads that
+            // give the stream base address and length.
+            let coo = (oh * spec.stride + kh) * input.shape().w + (ow * spec.stride + kw);
+            let sptr_addr = addrs.sptr_base + (coo as u32) * INDEX_BYTES as u32;
+            core_model.exec(&TraceOp::branch());
+            core_model.exec(&TraceOp::alu());
+            core_model.exec(&TraceOp::alu());
+            core_model.exec(&TraceOp::load(sptr_addr));
+            core_model.exec(&TraceOp::load(sptr_addr + INDEX_BYTES as u32));
+            core_model.exec(&TraceOp::alu());
+
+            // Functional accumulation: every active input channel adds its
+            // SIMD group of weights to the group's currents.
+            for &ci in active {
+                for lane in 0..lanes {
+                    let co = g * lanes + lane;
+                    if co >= spec.out_channels {
+                        break;
+                    }
+                    let w = self
+                        .format
+                        .quantize(layer.weights[spec.weight_index(kh, kw, ci as usize, co)]);
+                    let v = currents.get(oh, ow, co) + w;
+                    currents.set(oh, ow, co, v);
+                }
+            }
+
+            // Timing of the SpVA itself.
+            if s_len == 0 {
+                continue;
+            }
+            match self.variant {
+                KernelVariant::Baseline => {
+                    let block = [
+                        TraceOp::load(addrs.idcs_base),
+                        TraceOp::alu(),
+                        TraceOp::alu(),
+                        TraceOp::Fp {
+                            op: FpOp::Load,
+                            format: self.format,
+                            ssr_srcs: vec![],
+                            addr: None,
+                        },
+                        TraceOp::alu(),
+                        TraceOp::alu(),
+                        TraceOp::fp(FpOp::Add, self.format),
+                        TraceOp::branch(),
+                    ];
+                    core_model.exec_repeated(&block, s_len as u64);
+                }
+                KernelVariant::SpikeStream => {
+                    let index_base =
+                        addrs.idcs_base + input.s_ptr()[coo] * INDEX_BYTES as u32;
+                    core_model.exec(&TraceOp::SsrConfig {
+                        ssr: SsrId::Ssr0,
+                        pattern: StreamPattern::Indirect {
+                            index_base,
+                            index_bytes: INDEX_BYTES as u32,
+                            data_base: (addrs.weights_base)(kh, kw, g),
+                            elem_bytes: (lanes as u32) * self.format.bytes(),
+                            indices: active.iter().map(|&c| c as u32).collect(),
+                        },
+                        shadow: true,
+                    });
+                    core_model.exec(&TraceOp::Frep {
+                        reps: s_len as u32,
+                        body: vec![TraceOp::fp_streamed(FpOp::Add, self.format, SsrId::Ssr0)],
+                    });
+                }
+            }
+        }
+
+        // Fused LIF activation of the group (Section III-B/III-C): decay and
+        // integrate on the FPU, then threshold and unpack the SIMD lanes
+        // with bit masking and branches; spiking lanes atomically update the
+        // compressed ofmap buffers.
+        let core_model = cluster.core_mut(core);
+        core_model.exec(&TraceOp::fp(FpOp::Fma, self.format)); // v*alpha + i
+        core_model.exec(&TraceOp::fp(FpOp::Cmp, self.format)); // >= v_th
+        core_model.exec(&TraceOp::Int { op: IntOp::Move, addr: None });
+        let mut group_spikes = 0usize;
+        for lane in 0..lanes {
+            let co = g * lanes + lane;
+            if co >= spec.out_channels {
+                break;
+            }
+            core_model.exec(&TraceOp::alu()); // mask extraction
+            core_model.exec(&TraceOp::branch());
+            let neuron = out_shape.index(oh, ow, co);
+            let current = self.format.quantize(currents.get(oh, ow, co));
+            let fired = state.step_single(&layer.lif, neuron, current);
+            if fired {
+                spikes.set(oh, ow, co, true);
+                group_spikes += 1;
+                core_model.exec(&TraceOp::store(addrs.idcs_base));
+                core_model.exec(&TraceOp::Int { op: IntOp::Amo, addr: Some(addrs.sptr_base) });
+            }
+        }
+        // Write the updated membrane potentials back.
+        core_model.exec(&TraceOp::Fp {
+            op: FpOp::Store,
+            format: self.format,
+            ssr_srcs: vec![],
+            addr: Some(addrs.state_base),
+        });
+        group_spikes
+    }
+}
+
+/// Scratchpad base addresses used while processing one group.
+struct GroupAddresses<'a> {
+    weights_base: &'a dyn Fn(usize, usize, usize) -> u32,
+    idcs_base: u32,
+    sptr_base: u32,
+    state_base: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_arch::{ClusterConfig, CostModel};
+    use spikestream_snn::neuron::LifParams;
+    use spikestream_snn::tensor::TensorShape;
+    use spikestream_snn::{Layer, ReferenceEngine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_layer(in_c: usize, out_c: usize, hw: usize, pool: bool) -> (Layer, ConvSpec) {
+        let spec = ConvSpec {
+            input: TensorShape::new(hw, hw, in_c),
+            out_channels: out_c,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            pool,
+        };
+        let mut layer = Layer::new("test", LayerKind::Conv(spec), LifParams::new(0.5, 0.2));
+        let mut rng = StdRng::seed_from_u64(11);
+        layer.randomize_weights(&mut rng, 0.1);
+        (layer, spec)
+    }
+
+    fn random_input(spec: &ConvSpec, rate: f64, seed: u64) -> CompressedIfmap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = spec.padded_input();
+        let mut map = SpikeMap::silent(shape);
+        for h in 1..shape.h - 1 {
+            for w in 1..shape.w - 1 {
+                for c in 0..shape.c {
+                    if rand::Rng::gen_bool(&mut rng, rate) {
+                        map.set(h, w, c, true);
+                    }
+                }
+            }
+        }
+        CompressedIfmap::from_spike_map(&map)
+    }
+
+    fn cluster() -> ClusterModel {
+        ClusterModel::new(ClusterConfig::default(), CostModel::default())
+    }
+
+    #[test]
+    fn fp32_kernel_matches_reference_currents_and_spikes() {
+        let (layer, spec) = test_layer(8, 8, 6, false);
+        let input = random_input(&spec, 0.3, 3);
+        for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
+            let mut cluster = cluster();
+            let mut state = LifState::new(spec.conv_output().len());
+            let kernel = ConvKernel::new(variant, FpFormat::Fp32);
+            let out = kernel.run(&mut cluster, &layer, &input, &mut state);
+
+            let eng = ReferenceEngine::new();
+            let mut ref_state = LifState::new(spec.conv_output().len());
+            let ref_currents = eng.conv_currents(&layer, &spec, &input.decompress());
+            let ref_spikes = eng.activate_conv(&layer, &spec, &ref_currents, &mut ref_state);
+
+            for (a, b) in out.currents.data().iter().zip(ref_currents.data()) {
+                assert!((a - b).abs() < 1e-4, "{variant} current mismatch: {a} vs {b}");
+            }
+            assert_eq!(out.spikes, ref_spikes, "{variant} spike mismatch");
+        }
+    }
+
+    #[test]
+    fn both_variants_are_functionally_identical() {
+        let (layer, spec) = test_layer(16, 8, 6, true);
+        let input = random_input(&spec, 0.25, 5);
+        let mut c1 = cluster();
+        let mut c2 = cluster();
+        let mut s1 = LifState::new(spec.conv_output().len());
+        let mut s2 = LifState::new(spec.conv_output().len());
+        let base = ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
+            .run(&mut c1, &layer, &input, &mut s1);
+        let fast = ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
+            .run(&mut c2, &layer, &input, &mut s2);
+        assert_eq!(base.spikes, fast.spikes);
+        assert_eq!(base.output, fast.output);
+        assert_eq!(base.compressed, fast.compressed);
+        assert_eq!(s1.membrane(), s2.membrane());
+    }
+
+    #[test]
+    fn spikestream_is_faster_and_better_utilized_than_baseline() {
+        let (layer, spec) = test_layer(64, 32, 8, false);
+        let input = random_input(&spec, 0.3, 7);
+        let mut c1 = cluster();
+        let mut c2 = cluster();
+        let mut s1 = LifState::new(spec.conv_output().len());
+        let mut s2 = LifState::new(spec.conv_output().len());
+        ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
+            .run(&mut c1, &layer, &input, &mut s1);
+        ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
+            .run(&mut c2, &layer, &input, &mut s2);
+        let base = c1.finish_phase("baseline");
+        let fast = c2.finish_phase("spikestream");
+        let speedup = base.cycles as f64 / fast.cycles as f64;
+        assert!(speedup > 2.5, "expected a clear streaming speedup, got {speedup:.2}x");
+        assert!(
+            fast.fpu_utilization > 2.0 * base.fpu_utilization,
+            "utilization should rise markedly: {:.3} -> {:.3}",
+            base.fpu_utilization,
+            fast.fpu_utilization
+        );
+        assert!(base.fpu_utilization < 0.2, "baseline stays integer-bound");
+    }
+
+    #[test]
+    fn fp8_is_faster_than_fp16_for_spikestream() {
+        let (layer, spec) = test_layer(32, 32, 8, false);
+        let input = random_input(&spec, 0.3, 9);
+        let mut c16 = cluster();
+        let mut c8 = cluster();
+        let mut s16 = LifState::new(spec.conv_output().len());
+        let mut s8 = LifState::new(spec.conv_output().len());
+        ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
+            .run(&mut c16, &layer, &input, &mut s16);
+        ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp8)
+            .run(&mut c8, &layer, &input, &mut s8);
+        let t16 = c16.finish_phase("fp16").cycles as f64;
+        let t8 = c8.finish_phase("fp8").cycles as f64;
+        let speedup = t16 / t8;
+        assert!(
+            speedup > 1.3 && speedup < 2.2,
+            "FP8 halves the SIMD groups but pays extra unpacking, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_no_spikes_but_still_runs() {
+        let (layer, spec) = test_layer(8, 8, 4, false);
+        let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
+        let mut cl = cluster();
+        let mut state = LifState::new(spec.conv_output().len());
+        let out = ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
+            .run(&mut cl, &layer, &input, &mut state);
+        assert_eq!(out.spikes.count_spikes(), 0);
+        assert!(out.currents.data().iter().all(|&v| v == 0.0));
+        let stats = cl.finish_phase("empty");
+        assert!(stats.cycles > 0, "control overhead and DMA still cost cycles");
+    }
+
+    #[test]
+    fn pooling_shrinks_the_compressed_output() {
+        let (layer, spec) = test_layer(8, 8, 6, true);
+        let input = random_input(&spec, 0.4, 13);
+        let mut cl = cluster();
+        let mut state = LifState::new(spec.conv_output().len());
+        let out = ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
+            .run(&mut cl, &layer, &input, &mut state);
+        assert_eq!(out.output.shape(), TensorShape::new(3, 3, 8));
+        assert_eq!(out.compressed.shape(), out.output.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be padded")]
+    fn unpadded_input_is_rejected() {
+        let (layer, spec) = test_layer(4, 4, 4, false);
+        let wrong = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.input));
+        let mut cl = cluster();
+        let mut state = LifState::new(spec.conv_output().len());
+        ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
+            .run(&mut cl, &layer, &wrong, &mut state);
+    }
+}

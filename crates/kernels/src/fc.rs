@@ -1,0 +1,318 @@
+//! Compressed spiking fully connected kernels (baseline and SpikeStream).
+//!
+//! Fully connected layers use the simplified compression of Section III-A:
+//! a single index array of active inputs plus a spike count. Output neurons
+//! are parallelized over cores in SIMD groups; each group performs one
+//! Sparse Vector Accumulation whose length equals the number of active
+//! inputs, either as the scalar indirection loop (baseline) or as an
+//! indirect stream under FREP (SpikeStream).
+
+use snitch_arch::fp::FpFormat;
+use snitch_arch::isa::{FpOp, IntOp, StreamPattern};
+use snitch_arch::{SsrId, TraceOp};
+use snitch_sim::ClusterModel;
+use spikestream_snn::compress::INDEX_BYTES;
+use spikestream_snn::{CompressedFcInput, Layer, LayerKind, LifState};
+
+use crate::schedule::WorkStealingScheduler;
+use crate::tiling::TilingPlanner;
+use crate::KernelVariant;
+
+const CODE_REGION_FC_BASELINE: (u64, u32) = (0x20, 896);
+const CODE_REGION_FC_SPIKESTREAM: (u64, u32) = (0x21, 1152);
+
+/// Result of one fully connected layer invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcKernelOutput {
+    /// Input currents of every output neuron (quantized to the format).
+    pub currents: Vec<f32>,
+    /// Output spikes.
+    pub spikes: Vec<bool>,
+    /// Compressed form of the output spikes.
+    pub compressed: CompressedFcInput,
+}
+
+/// A spiking fully connected kernel bound to a variant and format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FcKernel {
+    variant: KernelVariant,
+    format: FpFormat,
+}
+
+impl FcKernel {
+    /// Create a kernel for the given variant and floating-point format.
+    pub fn new(variant: KernelVariant, format: FpFormat) -> Self {
+        FcKernel { variant, format }
+    }
+
+    /// The code variant this kernel emits.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The storage format of weights and activations.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// Run one fully connected layer on the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is not fully connected, if the compressed input
+    /// size does not match the layer, or if the neuron state has the wrong
+    /// size.
+    pub fn run(
+        &self,
+        cluster: &mut ClusterModel,
+        layer: &Layer,
+        input: &CompressedFcInput,
+        state: &mut LifState,
+    ) -> FcKernelOutput {
+        let LayerKind::Linear(spec) = &layer.kind else {
+            panic!("FcKernel requires a fully connected layer");
+        };
+        assert_eq!(input.in_features(), spec.in_features, "input width mismatch");
+        assert_eq!(state.len(), spec.out_features, "neuron state size mismatch");
+
+        let lanes = self.format.simd_lanes() as usize;
+        let groups = spec.out_features.div_ceil(lanes);
+        let s_len = input.spike_count();
+
+        let plan =
+            TilingPlanner::new(cluster.config()).plan_linear(spec, self.format, s_len.max(1));
+        plan.issue_dma(cluster);
+        let weights_base = plan.weights.base;
+        let idcs_base = plan.ifmap_idcs.base;
+        let state_base = plan.neuron_state.base;
+        let spm_bytes = cluster.config().spm_bytes.max(1);
+
+        let (region_id, region_bytes) = match self.variant {
+            KernelVariant::Baseline => CODE_REGION_FC_BASELINE,
+            KernelVariant::SpikeStream => CODE_REGION_FC_SPIKESTREAM,
+        };
+
+        let mut scheduler = WorkStealingScheduler::new(cluster.worker_cores());
+        let mut currents = vec![0.0f32; spec.out_features];
+        let mut spikes = vec![false; spec.out_features];
+
+        for g in 0..groups {
+            let core = scheduler.claim(cluster);
+            cluster.fetch_code(core, region_id, region_bytes);
+
+            // Functional accumulation for the group.
+            for &i in input.idcs() {
+                for lane in 0..lanes {
+                    let o = g * lanes + lane;
+                    if o >= spec.out_features {
+                        break;
+                    }
+                    let w = self
+                        .format
+                        .quantize(layer.weights[spec.weight_index(i as usize, o)]);
+                    currents[o] += w;
+                }
+            }
+
+            let core_model = cluster.core_mut(core);
+            // Load the group's membrane potentials and compute its weight base.
+            core_model.exec(&TraceOp::Fp {
+                op: FpOp::Load,
+                format: self.format,
+                ssr_srcs: vec![],
+                addr: Some(state_base),
+            });
+            core_model.exec(&TraceOp::alu());
+            core_model.exec(&TraceOp::alu());
+
+            if s_len > 0 {
+                match self.variant {
+                    KernelVariant::Baseline => {
+                        let block = [
+                            TraceOp::load(idcs_base),
+                            TraceOp::alu(),
+                            TraceOp::alu(),
+                            TraceOp::Fp {
+                                op: FpOp::Load,
+                                format: self.format,
+                                ssr_srcs: vec![],
+                                addr: None,
+                            },
+                            TraceOp::alu(),
+                            TraceOp::alu(),
+                            TraceOp::fp(FpOp::Add, self.format),
+                            TraceOp::branch(),
+                        ];
+                        core_model.exec_repeated(&block, s_len as u64);
+                    }
+                    KernelVariant::SpikeStream => {
+                        let group_base = weights_base
+                            .wrapping_add(((g * lanes) as u32 * self.format.bytes()) % spm_bytes);
+                        core_model.exec(&TraceOp::SsrConfig {
+                            ssr: SsrId::Ssr0,
+                            pattern: StreamPattern::Indirect {
+                                index_base: idcs_base,
+                                index_bytes: INDEX_BYTES as u32,
+                                data_base: group_base,
+                                elem_bytes: (lanes as u32) * self.format.bytes(),
+                                indices: input.idcs().iter().map(|&i| i as u32).collect(),
+                            },
+                            shadow: true,
+                        });
+                        core_model.exec(&TraceOp::Frep {
+                            reps: s_len as u32,
+                            body: vec![TraceOp::fp_streamed(FpOp::Add, self.format, SsrId::Ssr0)],
+                        });
+                    }
+                }
+            }
+
+            // Fused LIF activation and compressed output update.
+            core_model.exec(&TraceOp::fp(FpOp::Fma, self.format));
+            core_model.exec(&TraceOp::fp(FpOp::Cmp, self.format));
+            core_model.exec(&TraceOp::Int { op: IntOp::Move, addr: None });
+            for lane in 0..lanes {
+                let o = g * lanes + lane;
+                if o >= spec.out_features {
+                    break;
+                }
+                core_model.exec(&TraceOp::alu());
+                core_model.exec(&TraceOp::branch());
+                let current = self.format.quantize(currents[o]);
+                let fired = state.step_single(&layer.lif, o, current);
+                if fired {
+                    spikes[o] = true;
+                    core_model.exec(&TraceOp::store(idcs_base));
+                    core_model.exec(&TraceOp::Int { op: IntOp::Amo, addr: Some(idcs_base) });
+                }
+            }
+            core_model.exec(&TraceOp::Fp {
+                op: FpOp::Store,
+                format: self.format,
+                ssr_srcs: vec![],
+                addr: Some(state_base),
+            });
+        }
+
+        for core in 0..cluster.worker_cores() {
+            cluster.core_mut(core).exec(&TraceOp::Barrier);
+        }
+
+        let compressed = CompressedFcInput::from_spikes(&spikes);
+        FcKernelOutput { currents, spikes, compressed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use snitch_arch::{ClusterConfig, CostModel};
+    use spikestream_snn::neuron::LifParams;
+    use spikestream_snn::{LinearSpec, ReferenceEngine};
+
+    fn test_layer(in_f: usize, out_f: usize) -> (Layer, LinearSpec) {
+        let spec = LinearSpec { in_features: in_f, out_features: out_f };
+        let mut layer = Layer::new("fc", LayerKind::Linear(spec), LifParams::new(0.5, 0.15));
+        let mut rng = StdRng::seed_from_u64(21);
+        layer.randomize_weights(&mut rng, 0.1);
+        (layer, spec)
+    }
+
+    fn sparse_input(in_f: usize, rate: f64, seed: u64) -> CompressedFcInput {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spikes: Vec<bool> = (0..in_f).map(|_| rng.gen_bool(rate)).collect();
+        CompressedFcInput::from_spikes(&spikes)
+    }
+
+    fn cluster() -> ClusterModel {
+        ClusterModel::new(ClusterConfig::default(), CostModel::default())
+    }
+
+    #[test]
+    fn fp32_fc_matches_reference() {
+        let (layer, spec) = test_layer(256, 32);
+        let input = sparse_input(256, 0.1, 1);
+        let mut cl = cluster();
+        let mut state = LifState::new(spec.out_features);
+        let out = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp32)
+            .run(&mut cl, &layer, &input, &mut state);
+
+        let eng = ReferenceEngine::new();
+        let ref_currents = eng.linear_currents(&layer, &spec, &input.decompress());
+        for (a, b) in out.currents.iter().zip(ref_currents.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        let mut ref_state = LifState::new(spec.out_features);
+        let ref_spikes = ref_state.step(&layer.lif, &ref_currents);
+        assert_eq!(out.spikes, ref_spikes);
+    }
+
+    #[test]
+    fn variants_agree_functionally() {
+        let (layer, spec) = test_layer(512, 64);
+        let input = sparse_input(512, 0.05, 3);
+        let mut c1 = cluster();
+        let mut c2 = cluster();
+        let mut s1 = LifState::new(spec.out_features);
+        let mut s2 = LifState::new(spec.out_features);
+        let a = FcKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
+            .run(&mut c1, &layer, &input, &mut s1);
+        let b = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
+            .run(&mut c2, &layer, &input, &mut s2);
+        assert_eq!(a.spikes, b.spikes);
+        assert_eq!(a.compressed, b.compressed);
+    }
+
+    #[test]
+    fn extreme_sparsity_limits_the_streaming_gain() {
+        // With only a handful of active inputs the streams are so short that
+        // setup overhead dominates — the effect the paper reports for the
+        // FC layers.
+        let (layer, spec) = test_layer(1024, 128);
+        let sparse = sparse_input(1024, 0.01, 5);
+        let busy = sparse_input(1024, 0.30, 5);
+
+        let speedup_of = |input: &CompressedFcInput| {
+            let mut c1 = cluster();
+            let mut c2 = cluster();
+            let mut s1 = LifState::new(spec.out_features);
+            let mut s2 = LifState::new(spec.out_features);
+            FcKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
+                .run(&mut c1, &layer, input, &mut s1);
+            FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
+                .run(&mut c2, &layer, input, &mut s2);
+            c1.finish_phase("b").cycles as f64 / c2.finish_phase("s").cycles as f64
+        };
+        let sparse_speedup = speedup_of(&sparse);
+        let busy_speedup = speedup_of(&busy);
+        assert!(
+            busy_speedup > sparse_speedup,
+            "longer streams benefit more: {busy_speedup:.2} vs {sparse_speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let (layer, spec) = test_layer(128, 16);
+        let input = CompressedFcInput::from_spikes(&vec![false; 128]);
+        let mut cl = cluster();
+        let mut state = LifState::new(spec.out_features);
+        let out = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp8)
+            .run(&mut cl, &layer, &input, &mut state);
+        assert!(out.spikes.iter().all(|&s| !s));
+        assert_eq!(out.compressed.spike_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let (layer, spec) = test_layer(64, 8);
+        let input = CompressedFcInput::from_spikes(&vec![false; 32]);
+        let mut cl = cluster();
+        let mut state = LifState::new(spec.out_features);
+        FcKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
+            .run(&mut cl, &layer, &input, &mut state);
+    }
+}

@@ -1,0 +1,105 @@
+//! Workload-stealing receptive-field scheduler.
+//!
+//! The compressed ifmap representation makes the work per receptive field
+//! (RF) data dependent: positions with many spikes take longer. The paper
+//! balances this with a workload-stealing scheme in which each core, after
+//! finishing its RF, atomically bumps a shared `next_rf` counter and moves
+//! on to the next unprocessed RF (Fig. 2b).
+//!
+//! In the trace-driven model this is equivalent to always handing the next
+//! RF to the core whose integer pipeline is the least advanced in time, and
+//! charging that core the atomic fetch-and-add.
+
+use snitch_arch::isa::IntOp;
+use snitch_arch::TraceOp;
+use snitch_sim::ClusterModel;
+
+/// Scheduler state for one kernel phase.
+#[derive(Debug, Clone)]
+pub struct WorkStealingScheduler {
+    items_issued: usize,
+    per_core_items: Vec<usize>,
+}
+
+impl WorkStealingScheduler {
+    /// Create a scheduler for a cluster with `cores` worker cores.
+    pub fn new(cores: usize) -> Self {
+        WorkStealingScheduler { items_issued: 0, per_core_items: vec![0; cores] }
+    }
+
+    /// Claim the next work item: returns the core that steals it and charges
+    /// the atomic `next_rf` bump to that core.
+    pub fn claim(&mut self, cluster: &mut ClusterModel) -> usize {
+        let core = (0..cluster.worker_cores())
+            .min_by_key(|&i| cluster.cores()[i].counters().total_cycles().max(cluster.cores()[i].int_time()))
+            .expect("cluster has at least one core");
+        // Atomic tag of the RF plus the bookkeeping branch of the stealing loop.
+        cluster.core_mut(core).exec(&TraceOp::Int { op: IntOp::Amo, addr: Some(0) });
+        cluster.core_mut(core).exec(&TraceOp::branch());
+        self.items_issued += 1;
+        self.per_core_items[core] += 1;
+        core
+    }
+
+    /// Total number of items claimed so far.
+    pub fn items_issued(&self) -> usize {
+        self.items_issued
+    }
+
+    /// Number of items each core claimed.
+    pub fn per_core_items(&self) -> &[usize] {
+        &self.per_core_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_arch::{ClusterConfig, CostModel};
+
+    #[test]
+    fn every_item_is_claimed_exactly_once() {
+        let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
+        let mut sched = WorkStealingScheduler::new(cluster.worker_cores());
+        for _ in 0..100 {
+            let core = sched.claim(&mut cluster);
+            assert!(core < cluster.worker_cores());
+        }
+        assert_eq!(sched.items_issued(), 100);
+        assert_eq!(sched.per_core_items().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn balanced_work_spreads_across_cores() {
+        let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
+        let mut sched = WorkStealingScheduler::new(cluster.worker_cores());
+        for _ in 0..64 {
+            let core = sched.claim(&mut cluster);
+            // Identical work per item.
+            for _ in 0..10 {
+                cluster.core_mut(core).exec(&TraceOp::alu());
+            }
+        }
+        let items = sched.per_core_items();
+        assert!(items.iter().all(|&n| n == 8), "uniform work splits evenly: {items:?}");
+    }
+
+    #[test]
+    fn imbalanced_work_is_stolen_by_idle_cores() {
+        let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
+        let mut sched = WorkStealingScheduler::new(cluster.worker_cores());
+        for item in 0..64 {
+            let core = sched.claim(&mut cluster);
+            // Item 0 is pathologically heavy.
+            let work = if item == 0 { 10_000 } else { 10 };
+            for _ in 0..work {
+                cluster.core_mut(core).exec(&TraceOp::alu());
+            }
+        }
+        let items = sched.per_core_items();
+        let min = items.iter().min().unwrap();
+        let max = items.iter().max().unwrap();
+        assert_eq!(*min, 1, "the core stuck on the heavy item claims nothing else");
+        assert!(*max > 8, "other cores absorb the remaining items");
+    }
+}

@@ -1,0 +1,258 @@
+//! Tiling and double-buffering plans (Section III-D of the paper).
+//!
+//! Every layer's working set — compressed ifmap, weight tile, neuron-state
+//! tile and the worst-case-sized compressed ofmap buffers — must fit in the
+//! 128 KiB scratchpad, with weights double-buffered first and ifmaps second
+//! so that a compressed ofmap tile is fully populated before it is copied
+//! back out. The planner computes how many weight tiles a layer needs and
+//! the DMA traffic of one layer invocation; the kernels issue that traffic
+//! on the cluster's DMA engine so that compute/transfer overlap (or the
+//! lack of it) shows up in the phase statistics.
+
+use snitch_arch::fp::FpFormat;
+use snitch_arch::ClusterConfig;
+use snitch_mem::dma::{DmaDirection, DmaRequest};
+use snitch_mem::{SpmAllocator, SpmBuffer};
+use snitch_sim::ClusterModel;
+use spikestream_snn::compress::INDEX_BYTES;
+use spikestream_snn::{CompressedIfmap, ConvSpec, LinearSpec};
+
+/// Scratchpad addresses and DMA traffic of one layer invocation.
+#[derive(Debug, Clone)]
+pub struct LayerTilePlan {
+    /// Scratchpad buffer holding (one tile of) the weights.
+    pub weights: SpmBuffer,
+    /// Scratchpad buffer holding the compressed ifmap indices.
+    pub ifmap_idcs: SpmBuffer,
+    /// Scratchpad buffer holding the spatial pointers.
+    pub ifmap_sptr: SpmBuffer,
+    /// Scratchpad buffer holding the neuron-state (membrane) tile.
+    pub neuron_state: SpmBuffer,
+    /// Worst-case compressed ofmap buffer.
+    pub ofmap: SpmBuffer,
+    /// Number of weight tiles the layer is split into (>= 1).
+    pub weight_tiles: usize,
+    /// Inbound DMA requests (weights + ifmap + neuron state).
+    pub dma_in: Vec<DmaRequest>,
+    /// Outbound DMA requests (compressed ofmap + neuron state write-back).
+    pub dma_out: Vec<DmaRequest>,
+}
+
+impl LayerTilePlan {
+    /// Issue the plan's DMA traffic on the cluster's DMA engine.
+    ///
+    /// The initial tile load starts at cycle 0; every subsequent transfer is
+    /// double-buffered behind it. The phase statistics then reflect whether
+    /// the layer is compute- or transfer-bound.
+    pub fn issue_dma(&self, cluster: &mut ClusterModel) {
+        let mut now = 0;
+        for req in &self.dma_in {
+            now = cluster.dma_issue(req.clone(), now);
+        }
+        for req in &self.dma_out {
+            now = cluster.dma_issue(req.clone(), now);
+        }
+    }
+
+    /// Total bytes moved into the scratchpad.
+    pub fn bytes_in(&self) -> u64 {
+        self.dma_in.iter().map(|r| r.total_bytes()).sum()
+    }
+
+    /// Total bytes moved out of the scratchpad.
+    pub fn bytes_out(&self) -> u64 {
+        self.dma_out.iter().map(|r| r.total_bytes()).sum()
+    }
+}
+
+/// Planner that sizes tiles for the scratchpad of a cluster configuration.
+#[derive(Debug, Clone)]
+pub struct TilingPlanner {
+    config: ClusterConfig,
+}
+
+impl TilingPlanner {
+    /// Create a planner for the given cluster.
+    pub fn new(config: &ClusterConfig) -> Self {
+        TilingPlanner { config: config.clone() }
+    }
+
+    /// Plan one convolutional layer invocation.
+    pub fn plan_conv(
+        &self,
+        spec: &ConvSpec,
+        format: FpFormat,
+        input: &CompressedIfmap,
+    ) -> LayerTilePlan {
+        let elem = format.bytes() as usize;
+        let weight_bytes = spec.weight_count() * elem;
+        let idcs_bytes = input.c_idcs().len() * INDEX_BYTES;
+        let sptr_bytes = input.s_ptr().len() * INDEX_BYTES;
+        let out = spec.conv_output();
+        let state_bytes = out.len() * 4; // membrane potentials kept in FP32
+        // Worst-case (zero-sparsity) compressed ofmap allocation.
+        let ofmap_bytes = out.len() * INDEX_BYTES + (out.h * out.w + 1) * INDEX_BYTES;
+        self.plan(weight_bytes, idcs_bytes, sptr_bytes, state_bytes, ofmap_bytes, out.h)
+    }
+
+    /// Plan one fully connected layer invocation.
+    pub fn plan_linear(
+        &self,
+        spec: &LinearSpec,
+        format: FpFormat,
+        active_inputs: usize,
+    ) -> LayerTilePlan {
+        let elem = format.bytes() as usize;
+        let weight_bytes = spec.weight_count() * elem;
+        let idcs_bytes = active_inputs * INDEX_BYTES;
+        let state_bytes = spec.out_features * 4;
+        let ofmap_bytes = spec.out_features * INDEX_BYTES + 4;
+        self.plan(weight_bytes, idcs_bytes, 8, state_bytes, ofmap_bytes, 1)
+    }
+
+    fn plan(
+        &self,
+        weight_bytes: usize,
+        idcs_bytes: usize,
+        sptr_bytes: usize,
+        state_bytes: usize,
+        ofmap_bytes: usize,
+        out_rows: usize,
+    ) -> LayerTilePlan {
+        let capacity = self.config.spm_bytes as usize;
+        // Reserve space for everything except the weights, double-buffering
+        // the ifmap indices (Section III-D: weights first, then ifmaps).
+        let fixed = 2 * idcs_bytes + sptr_bytes + state_bytes + ofmap_bytes;
+        let weight_budget = capacity.saturating_sub(fixed).max(capacity / 4) / 2;
+        let weight_tiles = weight_bytes.div_ceil(weight_budget.max(1)).max(1);
+        let weight_tile_bytes = weight_bytes.div_ceil(weight_tiles);
+
+        let mut alloc = SpmAllocator::new(&self.config);
+        let mut grab = |bytes: usize| -> SpmBuffer {
+            alloc
+                .alloc(bytes.min(alloc.free() as usize).max(8) as u32)
+                .unwrap_or(SpmBuffer { base: 0, bytes: 0 })
+        };
+        let weights = grab(weight_tile_bytes);
+        let ifmap_idcs = grab(idcs_bytes);
+        let ifmap_sptr = grab(sptr_bytes);
+        let neuron_state = grab(state_bytes);
+        let ofmap = grab(ofmap_bytes);
+
+        let mut dma_in = Vec::new();
+        // One transfer per weight tile (double-buffered against compute).
+        for _ in 0..weight_tiles {
+            dma_in.push(DmaRequest::contiguous(DmaDirection::In, weight_tile_bytes as u64));
+        }
+        // The compressed ifmap tile fits a single DMA request thanks to the
+        // aggregated spatial pointers (Section III-D).
+        dma_in.push(DmaRequest::contiguous(
+            DmaDirection::In,
+            (idcs_bytes + sptr_bytes) as u64,
+        ));
+        dma_in.push(DmaRequest::contiguous(DmaDirection::In, state_bytes as u64));
+
+        // The ofmap c_idcs fragments are copied out row by row because of
+        // the worst-case allocation; the s_ptr elements are joined by the
+        // DMA core before the final copy.
+        let mut dma_out = Vec::new();
+        dma_out.push(DmaRequest::strided_2d(
+            DmaDirection::Out,
+            (ofmap_bytes / out_rows.max(1)) as u64,
+            out_rows as u64,
+        ));
+        dma_out.push(DmaRequest::contiguous(DmaDirection::Out, state_bytes as u64));
+
+        LayerTilePlan {
+            weights,
+            ifmap_idcs,
+            ifmap_sptr,
+            neuron_state,
+            ofmap,
+            weight_tiles,
+            dma_in,
+            dma_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikestream_snn::tensor::{SpikeMap, TensorShape};
+
+    fn planner() -> TilingPlanner {
+        TilingPlanner::new(&ClusterConfig::default())
+    }
+
+    fn small_conv() -> ConvSpec {
+        ConvSpec {
+            input: TensorShape::new(8, 8, 16),
+            out_channels: 32,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            pool: false,
+        }
+    }
+
+    #[test]
+    fn small_layer_needs_a_single_weight_tile() {
+        let spec = small_conv();
+        let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
+        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input);
+        assert_eq!(plan.weight_tiles, 1);
+        assert!(plan.bytes_in() > 0);
+        assert!(plan.bytes_out() > 0);
+    }
+
+    #[test]
+    fn large_layer_is_split_into_multiple_weight_tiles() {
+        let spec = ConvSpec {
+            input: TensorShape::new(8, 8, 512),
+            out_channels: 512,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            pool: false,
+        };
+        let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
+        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input);
+        // 512*512*9 FP16 weights are ~4.5 MiB: far beyond one 128 KiB tile.
+        assert!(plan.weight_tiles > 10, "got {}", plan.weight_tiles);
+        assert_eq!(plan.dma_in.len(), plan.weight_tiles + 2);
+    }
+
+    #[test]
+    fn narrower_formats_move_fewer_weight_bytes() {
+        let spec = small_conv();
+        let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
+        let fp16 = planner().plan_conv(&spec, FpFormat::Fp16, &input);
+        let fp8 = planner().plan_conv(&spec, FpFormat::Fp8, &input);
+        assert!(fp8.bytes_in() < fp16.bytes_in());
+    }
+
+    #[test]
+    fn linear_plan_covers_weights_and_state() {
+        let spec = LinearSpec { in_features: 1024, out_features: 128 };
+        let plan = planner().plan_linear(&spec, FpFormat::Fp16, 40);
+        assert!(plan.weight_tiles >= 2, "1024x128 FP16 weights exceed one tile");
+        assert!(plan.bytes_in() >= (spec.weight_count() * 2) as u64);
+    }
+
+    #[test]
+    fn issuing_dma_populates_cluster_statistics() {
+        let spec = small_conv();
+        let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
+        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input);
+        let mut cluster =
+            ClusterModel::new(ClusterConfig::default(), snitch_arch::CostModel::default());
+        plan.issue_dma(&mut cluster);
+        let stats = cluster.finish_phase("dma-only");
+        assert_eq!(stats.dma_bytes_in, plan.bytes_in());
+        assert_eq!(stats.dma_bytes_out, plan.bytes_out());
+        assert!(stats.cycles > 0);
+    }
+}

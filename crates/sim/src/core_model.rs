@@ -1,0 +1,591 @@
+//! Timing model of one Snitch worker core.
+//!
+//! A worker core pairs a single-issue integer pipeline with a SIMD FPU fed
+//! by three stream semantic registers and an FREP hardware loop. The two
+//! halves run decoupled: the integer core issues FP instructions (or whole
+//! FREP regions) into a small sequencer buffer and continues executing its
+//! own instructions, so stream setup for the next sparse vector
+//! accumulation can overlap with the FPU draining the current one. This
+//! decoupling — and its failure when streams are too short — is exactly
+//! what produces the per-layer utilization and speedup shapes in Fig. 3 of
+//! the paper.
+
+use std::collections::VecDeque;
+
+use snitch_arch::isa::{FpOp, StreamPattern};
+use snitch_arch::{ClusterConfig, CostModel, SsrId, TraceOp};
+use snitch_mem::BankConflictModel;
+
+use crate::counters::PerfCounters;
+
+/// Expected extra stall cycles per scratchpad access caused by contention
+/// with the other cores of the cluster. The value is a calibration constant:
+/// with eight cores issuing roughly two stream accesses per cycle into 32
+/// banks, a few percent of accesses lose arbitration.
+const DEFAULT_CROSS_CONFLICT_PER_ACCESS: f64 = 0.04;
+
+/// Maximum number of FREP regions the integer core may queue ahead of the
+/// FPU before it stalls on the sequencer buffer.
+const MAX_OUTSTANDING_FREPS: usize = 2;
+
+/// Per-core, trace-driven timing model.
+#[derive(Debug, Clone)]
+pub struct WorkerCoreModel {
+    core_id: usize,
+    cost: CostModel,
+    banks: BankConflictModel,
+    cross_conflict_per_access: f64,
+    /// Completion time of the integer pipeline.
+    int_time: u64,
+    /// Time at which the FPU becomes free.
+    fpu_time: u64,
+    /// Completion times of outstanding FREP regions.
+    outstanding_freps: VecDeque<u64>,
+    /// Completion time of the stream currently bound to each SSR.
+    ssr_busy_until: [u64; 3],
+    /// Stream pattern most recently configured on each SSR, not yet consumed.
+    ssr_pending: [Option<StreamPattern>; 3],
+    /// Fractional conflict-cycle accumulator (cross-core interference).
+    conflict_carry: f64,
+    counters: PerfCounters,
+}
+
+impl WorkerCoreModel {
+    /// Create a core model.
+    pub fn new(config: &ClusterConfig, cost: CostModel, core_id: usize) -> Self {
+        WorkerCoreModel {
+            core_id,
+            cost,
+            banks: BankConflictModel::new(config),
+            cross_conflict_per_access: DEFAULT_CROSS_CONFLICT_PER_ACCESS,
+            int_time: 0,
+            fpu_time: 0,
+            outstanding_freps: VecDeque::new(),
+            ssr_busy_until: [0; 3],
+            ssr_pending: [None, None, None],
+            conflict_carry: 0.0,
+            counters: PerfCounters::new(),
+        }
+    }
+
+    /// Identifier of the modelled core within the cluster.
+    pub fn core_id(&self) -> usize {
+        self.core_id
+    }
+
+    /// Override the cross-core contention calibration constant.
+    pub fn set_cross_conflict_per_access(&mut self, value: f64) {
+        self.cross_conflict_per_access = value.max(0.0);
+    }
+
+    /// Execute one trace operation, advancing the core's timing state.
+    pub fn exec(&mut self, op: &TraceOp) {
+        match op {
+            TraceOp::Int { op, addr: _ } => {
+                self.int_time += self.cost.int_cycles(*op);
+                self.counters.int_instrs += 1;
+            }
+            TraceOp::Fp { op, format, ssr_srcs, addr: _ } => {
+                // The integer core spends one issue slot handing the
+                // instruction to the FPU subsystem.
+                self.int_time += 1;
+                self.counters.int_instrs += 1;
+                let busy = self.cost.fp_cycles(*op);
+                let mut start = self.int_time.max(self.fpu_time);
+                for ssr in ssr_srcs {
+                    start = start.max(self.ssr_busy_until[ssr.index()]);
+                }
+                self.fpu_time = start + busy;
+                // Only arithmetic counts as *useful* FPU work for the
+                // utilization metric; FP loads/stores/moves keep the FP
+                // subsystem occupied but are bookkeeping.
+                if Self::is_useful_fp(*op) {
+                    self.counters.fpu_busy_cycles += busy;
+                }
+                self.counters.fp_instrs += 1;
+                self.counters.flops += self.flops_of(*op, format.simd_lanes() as u64);
+            }
+            TraceOp::SsrConfig { ssr, pattern, shadow } => {
+                self.config_ssr(*ssr, pattern.clone(), *shadow);
+            }
+            TraceOp::Frep { reps, body } => {
+                self.exec_frep(*reps, body);
+            }
+            TraceOp::Barrier => {
+                self.int_time = self.int_time.max(self.fpu_time);
+                self.outstanding_freps.clear();
+            }
+        }
+        self.counters.int_cycles = self.int_time;
+        self.counters.fpu_last_complete = self.counters.fpu_last_complete.max(self.fpu_time);
+    }
+
+    /// Execute a whole slice of trace operations.
+    pub fn exec_all(&mut self, ops: &[TraceOp]) {
+        for op in ops {
+            self.exec(op);
+        }
+    }
+
+    /// Execute a straight-line block of operations `reps` times.
+    ///
+    /// This is a fast path for inner loops whose per-iteration timing does
+    /// not depend on data (such as the baseline SpVA loop of Listing 1b):
+    /// the per-iteration cost is computed once and multiplied, which is
+    /// exact for blocks containing only integer ops and non-streamed FP ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block contains SSR configurations or FREP regions —
+    /// those have cross-iteration state and must go through [`Self::exec`].
+    pub fn exec_repeated(&mut self, ops: &[TraceOp], reps: u64) {
+        if reps == 0 {
+            return;
+        }
+        let mut int_cycles = 0u64;
+        let mut int_instrs = 0u64;
+        let mut fp_busy = 0u64;
+        let mut fp_occupancy = 0u64;
+        let mut fp_instrs = 0u64;
+        let mut flops = 0u64;
+        for op in ops {
+            match op {
+                TraceOp::Int { op, .. } => {
+                    int_cycles += self.cost.int_cycles(*op);
+                    int_instrs += 1;
+                }
+                TraceOp::Fp { op, format, .. } => {
+                    int_cycles += 1; // issue slot on the integer core
+                    int_instrs += 1;
+                    let busy = self.cost.fp_cycles(*op);
+                    fp_occupancy += busy;
+                    if Self::is_useful_fp(*op) {
+                        fp_busy += busy;
+                    }
+                    fp_instrs += 1;
+                    flops += self.flops_of(*op, format.simd_lanes() as u64);
+                }
+                TraceOp::SsrConfig { .. } | TraceOp::Frep { .. } | TraceOp::Barrier => {
+                    panic!("exec_repeated only supports straight-line int/FP blocks");
+                }
+            }
+        }
+        self.int_time += int_cycles * reps;
+        self.counters.int_instrs += int_instrs * reps;
+        // The FP work of such blocks is throttled by the integer core (each
+        // FP op is issued individually), so the FP subsystem finishes
+        // together with the integer pipeline.
+        let _ = fp_occupancy;
+        self.fpu_time = self.fpu_time.max(self.int_time);
+        self.counters.fpu_busy_cycles += fp_busy * reps;
+        self.counters.fp_instrs += fp_instrs * reps;
+        self.counters.flops += flops * reps;
+        self.counters.int_cycles = self.int_time;
+        self.counters.fpu_last_complete = self.counters.fpu_last_complete.max(self.fpu_time);
+    }
+
+    /// Charge `cycles` of instruction-cache refill stall to the integer core.
+    pub fn add_icache_stall(&mut self, cycles: u64) {
+        self.int_time += cycles;
+        self.counters.stall_icache += cycles;
+        self.counters.int_cycles = self.int_time;
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Completion time of the integer pipeline.
+    pub fn int_time(&self) -> u64 {
+        self.int_time
+    }
+
+    /// Time at which the FPU becomes free.
+    pub fn fpu_time(&self) -> u64 {
+        self.fpu_time
+    }
+
+    /// Reset all timing state and counters (between phases).
+    pub fn reset(&mut self) {
+        self.int_time = 0;
+        self.fpu_time = 0;
+        self.outstanding_freps.clear();
+        self.ssr_busy_until = [0; 3];
+        self.ssr_pending = [None, None, None];
+        self.conflict_carry = 0.0;
+        self.counters = PerfCounters::new();
+    }
+
+    fn is_useful_fp(op: FpOp) -> bool {
+        matches!(op, FpOp::Add | FpOp::Mul | FpOp::Fma | FpOp::Cmp | FpOp::Cvt)
+    }
+
+    fn flops_of(&self, op: FpOp, lanes: u64) -> u64 {
+        match op {
+            FpOp::Add | FpOp::Mul | FpOp::Cmp => lanes,
+            FpOp::Fma => 2 * lanes,
+            FpOp::Cvt | FpOp::Move | FpOp::Load | FpOp::Store => 0,
+        }
+    }
+
+    fn config_ssr(&mut self, ssr: SsrId, pattern: StreamPattern, shadow: bool) {
+        if matches!(pattern, StreamPattern::Indirect { .. }) && !ssr.supports_indirect() {
+            panic!("SSR {ssr:?} does not support indirect streams");
+        }
+        let writes = match &pattern {
+            StreamPattern::Affine { strides, .. } => 2 + 2 * strides.len() as u64,
+            StreamPattern::Indirect { .. } => 4,
+        };
+        self.int_time += writes * self.cost.ssr_config_write;
+        self.counters.int_instrs += writes;
+        self.counters.ssr_configs += 1;
+
+        if !shadow {
+            // Without shadow registers the integer core must wait for the
+            // stream currently bound to this SSR to drain.
+            let busy = self.ssr_busy_until[ssr.index()];
+            if busy > self.int_time {
+                self.counters.stall_ssr_drain += busy - self.int_time;
+                self.int_time = busy;
+            }
+        }
+        self.ssr_pending[ssr.index()] = Some(pattern);
+    }
+
+    fn exec_frep(&mut self, reps: u32, body: &[TraceOp]) {
+        // Launching the hardware loop occupies the integer core briefly.
+        self.int_time += self.cost.frep_launch;
+        self.counters.int_instrs += 1;
+
+        // Sequencer back-pressure: only a couple of FREP regions may be
+        // outstanding; beyond that the integer core stalls.
+        self.retire_completed_freps();
+        if self.outstanding_freps.len() >= MAX_OUTSTANDING_FREPS {
+            let oldest = self.outstanding_freps.pop_front().expect("non-empty");
+            if oldest > self.int_time {
+                self.counters.stall_sequencer_full += oldest - self.int_time;
+                self.int_time = oldest;
+            }
+        }
+
+        // Gather the streams consumed by the body and their conflict cost.
+        let mut stream_ready = self.int_time;
+        let mut conflict_stalls = 0u64;
+        let mut elements = 0u64;
+        let mut uses_stream = false;
+        let mut stream_interval: f64 = 1.0;
+        for op in body {
+            if let TraceOp::Fp { ssr_srcs, .. } = op {
+                for ssr in ssr_srcs {
+                    uses_stream = true;
+                    if let Some(pattern) = self.ssr_pending[ssr.index()].take() {
+                        let interval = match &pattern {
+                            StreamPattern::Affine { .. } => self.cost.affine_stream_interval,
+                            StreamPattern::Indirect { .. } => self.cost.indirect_stream_interval,
+                        };
+                        stream_interval = stream_interval.max(interval);
+                        let (ready, stalls, elems) = self.consume_stream(ssr, &pattern);
+                        stream_ready = stream_ready.max(ready);
+                        conflict_stalls += stalls;
+                        elements += elems;
+                    } else {
+                        stream_ready = stream_ready.max(self.ssr_busy_until[ssr.index()]);
+                    }
+                }
+            }
+        }
+
+        let mut fp_issue_cycles = 0u64;
+        let mut fp_instrs = 0u64;
+        let mut flops = 0u64;
+        for op in body {
+            if let TraceOp::Fp { op, format, .. } = op {
+                fp_issue_cycles += self.cost.fp_cycles(*op);
+                fp_instrs += 1;
+                flops += self.flops_of(*op, format.simd_lanes() as u64);
+            }
+        }
+        let total_issue = fp_issue_cycles * reps as u64;
+        // Streamed operands arrive at the sustained interval of the slowest
+        // stream feeding the body; non-streamed FREP bodies issue every cycle.
+        let total_occupancy = if uses_stream {
+            (total_issue as f64 * stream_interval).ceil() as u64
+        } else {
+            total_issue
+        };
+        let startup = if uses_stream { self.cost.stream_startup } else { 0 };
+        let start = self.int_time.max(self.fpu_time).max(stream_ready);
+        let busy_end =
+            start + self.cost.fpu_latency + startup + total_occupancy + conflict_stalls;
+
+        self.fpu_time = busy_end;
+        self.counters.fpu_busy_cycles += total_issue;
+        self.counters.stall_bank_conflict += conflict_stalls;
+        self.counters.fp_instrs += fp_instrs * reps as u64;
+        self.counters.flops += flops * reps as u64;
+        self.counters.stream_elements += elements;
+
+        // Streams consumed by this FREP stay busy until it completes.
+        for op in body {
+            if let TraceOp::Fp { ssr_srcs, .. } = op {
+                for ssr in ssr_srcs {
+                    self.ssr_busy_until[ssr.index()] = busy_end;
+                }
+            }
+        }
+        self.outstanding_freps.push_back(busy_end);
+    }
+
+    fn retire_completed_freps(&mut self) {
+        while let Some(&t) = self.outstanding_freps.front() {
+            if t <= self.int_time {
+                self.outstanding_freps.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Account for the scratchpad traffic of one stream: returns
+    /// `(ready_time, conflict_stalls, elements)`.
+    fn consume_stream(&mut self, _ssr: &SsrId, pattern: &StreamPattern) -> (u64, u64, u64) {
+        let elements = pattern.length();
+        let accesses_per_element: f64;
+        let own_conflicts: u64;
+        match pattern {
+            StreamPattern::Affine { .. } => {
+                accesses_per_element = 1.0;
+                own_conflicts = 0;
+            }
+            StreamPattern::Indirect { index_base, index_bytes, .. } => {
+                // Each element needs an index fetch plus a gather; when both
+                // land in the same bank the data mover loses a cycle.
+                accesses_per_element = 2.0;
+                let gathers = pattern.data_addresses();
+                let index_addrs: Vec<u32> = (0..gathers.len() as u32)
+                    .map(|i| index_base + i * index_bytes)
+                    .collect();
+                own_conflicts = self.banks.conflict_cycles_pairwise(&index_addrs, &gathers);
+            }
+        }
+        // Cross-core interference, accumulated fractionally so short streams
+        // are not over-penalized.
+        let expected =
+            elements as f64 * accesses_per_element * self.cross_conflict_per_access
+                + self.conflict_carry;
+        let cross = expected.floor() as u64;
+        self.conflict_carry = expected - cross as f64;
+        (self.int_time, own_conflicts + cross, elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_arch::fp::FpFormat;
+
+    fn core() -> WorkerCoreModel {
+        WorkerCoreModel::new(&ClusterConfig::default(), CostModel::default(), 0)
+    }
+
+    fn indirect_pattern(n: u32) -> StreamPattern {
+        StreamPattern::Indirect {
+            index_base: 0x100,
+            index_bytes: 2,
+            data_base: 0x1000,
+            elem_bytes: 8,
+            indices: (0..n).collect(),
+        }
+    }
+
+    #[test]
+    fn int_ops_advance_only_the_integer_pipeline() {
+        let mut c = core();
+        c.exec(&TraceOp::alu());
+        c.exec(&TraceOp::load(0x40));
+        assert_eq!(c.int_time(), 3);
+        assert_eq!(c.fpu_time(), 0);
+        assert_eq!(c.counters().int_instrs, 2);
+    }
+
+    #[test]
+    fn scalar_fp_op_occupies_both_pipelines() {
+        let mut c = core();
+        c.exec(&TraceOp::fp(FpOp::Add, FpFormat::Fp16));
+        assert_eq!(c.counters().fp_instrs, 1);
+        assert_eq!(c.counters().fpu_busy_cycles, 1);
+        assert!(c.fpu_time() >= 1);
+        assert_eq!(c.counters().flops, 4, "FP16 SIMD add = 4 lane flops");
+    }
+
+    #[test]
+    fn baseline_spva_loop_has_low_fpu_utilization() {
+        // Listing 1b: per element the integer core executes 7 instructions
+        // plus the fld and fadd; the FPU does one cycle of useful work.
+        let mut c = core();
+        for i in 0..100u32 {
+            c.exec(&TraceOp::load(0x100 + 2 * i)); // lw index
+            c.exec(&TraceOp::alu()); // slli
+            c.exec(&TraceOp::alu()); // add
+            c.exec(&TraceOp::fp(FpOp::Load, FpFormat::Fp16)); // fld
+            c.exec(&TraceOp::alu()); // addi
+            c.exec(&TraceOp::alu()); // addi
+            c.exec(&TraceOp::fp(FpOp::Add, FpFormat::Fp16)); // fadd
+            c.exec(&TraceOp::branch()); // bne
+        }
+        let util = c.counters().fpu_utilization();
+        assert!(util > 0.05 && util < 0.20, "baseline utilization ~10%, got {util}");
+    }
+
+    #[test]
+    fn streamed_spva_reaches_high_fpu_utilization() {
+        // SpikeStream: configure an indirect stream of 256 elements and run
+        // a single-instruction FREP body; utilization approaches 1.
+        let mut c = core();
+        for _ in 0..8 {
+            c.exec(&TraceOp::alu()); // stream base address computation
+            c.exec(&TraceOp::alu());
+            c.exec(&TraceOp::SsrConfig {
+                ssr: SsrId::Ssr0,
+                pattern: indirect_pattern(256),
+                shadow: true,
+            });
+            c.exec(&TraceOp::Frep {
+                reps: 256,
+                body: vec![TraceOp::fp_streamed(FpOp::Add, FpFormat::Fp16, SsrId::Ssr0)],
+            });
+        }
+        let util = c.counters().fpu_utilization();
+        assert!(
+            util > 0.5,
+            "streamed utilization should approach the indirect-stream ceiling, got {util}"
+        );
+        assert_eq!(c.counters().stream_elements, 8 * 256);
+    }
+
+    #[test]
+    fn short_streams_leave_the_fpu_starved() {
+        let mut c = core();
+        for _ in 0..64 {
+            for _ in 0..10 {
+                c.exec(&TraceOp::alu());
+            }
+            c.exec(&TraceOp::SsrConfig {
+                ssr: SsrId::Ssr0,
+                pattern: indirect_pattern(3),
+                shadow: true,
+            });
+            c.exec(&TraceOp::Frep {
+                reps: 3,
+                body: vec![TraceOp::fp_streamed(FpOp::Add, FpFormat::Fp16, SsrId::Ssr0)],
+            });
+        }
+        let util = c.counters().fpu_utilization();
+        assert!(util < 0.45, "short streams keep utilization low, got {util}");
+    }
+
+    #[test]
+    fn non_shadow_reconfiguration_waits_for_stream_drain() {
+        let mut c = core();
+        c.exec(&TraceOp::SsrConfig {
+            ssr: SsrId::Ssr0,
+            pattern: indirect_pattern(512),
+            shadow: true,
+        });
+        c.exec(&TraceOp::Frep {
+            reps: 512,
+            body: vec![TraceOp::fp_streamed(FpOp::Add, FpFormat::Fp16, SsrId::Ssr0)],
+        });
+        // Immediately reconfigure without shadow registers: must wait.
+        c.exec(&TraceOp::SsrConfig {
+            ssr: SsrId::Ssr0,
+            pattern: indirect_pattern(4),
+            shadow: false,
+        });
+        assert!(c.counters().stall_ssr_drain > 0);
+        assert!(c.int_time() >= 512);
+    }
+
+    #[test]
+    fn shadow_reconfiguration_overlaps_with_running_stream() {
+        let mut c = core();
+        c.exec(&TraceOp::SsrConfig {
+            ssr: SsrId::Ssr0,
+            pattern: indirect_pattern(512),
+            shadow: true,
+        });
+        c.exec(&TraceOp::Frep {
+            reps: 512,
+            body: vec![TraceOp::fp_streamed(FpOp::Add, FpFormat::Fp16, SsrId::Ssr0)],
+        });
+        c.exec(&TraceOp::SsrConfig {
+            ssr: SsrId::Ssr0,
+            pattern: indirect_pattern(4),
+            shadow: true,
+        });
+        assert_eq!(c.counters().stall_ssr_drain, 0);
+        assert!(c.int_time() < 100, "integer core keeps running ahead");
+    }
+
+    #[test]
+    fn sequencer_backpressure_limits_runahead() {
+        let mut c = core();
+        for _ in 0..6 {
+            c.exec(&TraceOp::SsrConfig {
+                ssr: SsrId::Ssr0,
+                pattern: indirect_pattern(1024),
+                shadow: true,
+            });
+            c.exec(&TraceOp::Frep {
+                reps: 1024,
+                body: vec![TraceOp::fp_streamed(FpOp::Add, FpFormat::Fp16, SsrId::Ssr0)],
+            });
+        }
+        assert!(c.counters().stall_sequencer_full > 0);
+    }
+
+    #[test]
+    fn barrier_joins_integer_and_fp_time() {
+        let mut c = core();
+        c.exec(&TraceOp::SsrConfig {
+            ssr: SsrId::Ssr1,
+            pattern: indirect_pattern(128),
+            shadow: true,
+        });
+        c.exec(&TraceOp::Frep {
+            reps: 128,
+            body: vec![TraceOp::fp_streamed(FpOp::Add, FpFormat::Fp8, SsrId::Ssr1)],
+        });
+        c.exec(&TraceOp::Barrier);
+        assert_eq!(c.int_time(), c.fpu_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support indirect")]
+    fn indirect_stream_on_affine_only_ssr_panics() {
+        let mut c = core();
+        c.exec(&TraceOp::SsrConfig {
+            ssr: SsrId::Ssr2,
+            pattern: indirect_pattern(4),
+            shadow: true,
+        });
+    }
+
+    #[test]
+    fn icache_stall_is_attributed() {
+        let mut c = core();
+        c.add_icache_stall(120);
+        assert_eq!(c.counters().stall_icache, 120);
+        assert_eq!(c.int_time(), 120);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = core();
+        c.exec(&TraceOp::alu());
+        c.reset();
+        assert_eq!(c.int_time(), 0);
+        assert_eq!(c.counters().int_instrs, 0);
+    }
+}

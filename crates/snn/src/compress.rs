@@ -1,0 +1,320 @@
+//! Compressed representations of sparse spike feature maps.
+//!
+//! SpikeStream stores the sparse binary ifmaps of convolutional layers in a
+//! fiber-tree format derived from CSR (Section III-A of the paper): a
+//! channel-index array `c_idcs` marks the active neurons at each spatial
+//! position, and a spatial pointer array `s_ptr` holds the running count of
+//! spikes across spatial positions. Because spiking activations are binary,
+//! no value array is needed. Fully connected layers use a single index
+//! array plus a count.
+//!
+//! The module also implements the address-event representation (AER) used
+//! by neuromorphic processors — absolute coordinates plus a timestamp per
+//! spike — as the memory-footprint baseline of Fig. 3a.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::{SpikeMap, TensorShape};
+
+/// Width in bytes of indices and coordinates (the paper assumes 16-bit).
+pub const INDEX_BYTES: usize = 2;
+
+/// CSR-derived compressed ifmap of a convolutional layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedIfmap {
+    shape: TensorShape,
+    /// Channel indices of active neurons, concatenated position by position
+    /// in row-major `(h, w)` order.
+    c_idcs: Vec<u16>,
+    /// Spatial pointers: `s_ptr[p]` is the number of spikes in positions
+    /// `0..p`; length is `h * w + 1`.
+    s_ptr: Vec<u32>,
+}
+
+impl CompressedIfmap {
+    /// Compress a binary spike map.
+    pub fn from_spike_map(map: &SpikeMap) -> Self {
+        let shape = map.shape();
+        let mut c_idcs = Vec::new();
+        let mut s_ptr = Vec::with_capacity(shape.h * shape.w + 1);
+        s_ptr.push(0);
+        for h in 0..shape.h {
+            for w in 0..shape.w {
+                for c in map.active_channels(h, w) {
+                    c_idcs.push(c as u16);
+                }
+                s_ptr.push(c_idcs.len() as u32);
+            }
+        }
+        CompressedIfmap { shape, c_idcs, s_ptr }
+    }
+
+    /// Reconstruct the dense binary spike map.
+    pub fn decompress(&self) -> SpikeMap {
+        let mut map = SpikeMap::silent(self.shape);
+        for h in 0..self.shape.h {
+            for w in 0..self.shape.w {
+                for &c in self.active_at(h, w) {
+                    map.set(h, w, c as usize, true);
+                }
+            }
+        }
+        map
+    }
+
+    /// Shape of the represented ifmap.
+    pub fn shape(&self) -> TensorShape {
+        self.shape
+    }
+
+    /// Channel-index array (`c_idcs`).
+    pub fn c_idcs(&self) -> &[u16] {
+        &self.c_idcs
+    }
+
+    /// Spatial pointer array (`s_ptr`).
+    pub fn s_ptr(&self) -> &[u32] {
+        &self.s_ptr
+    }
+
+    /// Active channel indices at spatial position `(h, w)`.
+    pub fn active_at(&self, h: usize, w: usize) -> &[u16] {
+        let p = h * self.shape.w + w;
+        let start = self.s_ptr[p] as usize;
+        let end = self.s_ptr[p + 1] as usize;
+        &self.c_idcs[start..end]
+    }
+
+    /// Number of spikes at spatial position `(h, w)` — the SpVA stream
+    /// length of that position.
+    pub fn count_at(&self, h: usize, w: usize) -> usize {
+        self.active_at(h, w).len()
+    }
+
+    /// Total number of spikes.
+    pub fn spike_count(&self) -> usize {
+        self.c_idcs.len()
+    }
+
+    /// Firing rate of the represented map.
+    pub fn firing_rate(&self) -> f64 {
+        if self.shape.len() == 0 {
+            0.0
+        } else {
+            self.spike_count() as f64 / self.shape.len() as f64
+        }
+    }
+
+    /// Memory footprint in bytes with 16-bit indices and spatial pointers,
+    /// as assumed in Fig. 3a of the paper.
+    pub fn footprint_bytes(&self) -> usize {
+        self.c_idcs.len() * INDEX_BYTES + self.s_ptr.len() * INDEX_BYTES
+    }
+}
+
+/// Compressed input of a fully connected layer: a single index array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedFcInput {
+    in_features: usize,
+    idcs: Vec<u16>,
+}
+
+impl CompressedFcInput {
+    /// Compress a flat binary input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes.len()` exceeds `u16::MAX + 1` addressable inputs.
+    pub fn from_spikes(spikes: &[bool]) -> Self {
+        assert!(spikes.len() <= u16::MAX as usize + 1, "FC input too large for 16-bit indices");
+        let idcs = spikes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i as u16))
+            .collect();
+        CompressedFcInput { in_features: spikes.len(), idcs }
+    }
+
+    /// Reconstruct the dense boolean vector.
+    pub fn decompress(&self) -> Vec<bool> {
+        let mut out = vec![false; self.in_features];
+        for &i in &self.idcs {
+            out[i as usize] = true;
+        }
+        out
+    }
+
+    /// Indices of active inputs.
+    pub fn idcs(&self) -> &[u16] {
+        &self.idcs
+    }
+
+    /// Number of input neurons represented.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of spikes.
+    pub fn spike_count(&self) -> usize {
+        self.idcs.len()
+    }
+
+    /// Memory footprint in bytes (index array plus the spike count word).
+    pub fn footprint_bytes(&self) -> usize {
+        self.idcs.len() * INDEX_BYTES + 4
+    }
+}
+
+/// One address-event: absolute coordinates plus a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AerEvent {
+    /// Spatial row of the spiking neuron.
+    pub y: u16,
+    /// Spatial column of the spiking neuron.
+    pub x: u16,
+    /// Channel of the spiking neuron.
+    pub channel: u16,
+    /// Timestep at which the spike occurred.
+    pub timestamp: u16,
+}
+
+impl AerEvent {
+    /// Storage size of one event in bytes (four 16-bit fields).
+    pub const BYTES: usize = 8;
+}
+
+/// An AER-encoded spike frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AerFrame {
+    shape: TensorShape,
+    events: Vec<AerEvent>,
+}
+
+impl AerFrame {
+    /// Encode a spike map at the given timestep.
+    pub fn from_spike_map(map: &SpikeMap, timestamp: u16) -> Self {
+        let shape = map.shape();
+        let mut events = Vec::new();
+        for h in 0..shape.h {
+            for w in 0..shape.w {
+                for c in map.active_channels(h, w) {
+                    events.push(AerEvent {
+                        y: h as u16,
+                        x: w as u16,
+                        channel: c as u16,
+                        timestamp,
+                    });
+                }
+            }
+        }
+        AerFrame { shape, events }
+    }
+
+    /// The events of the frame.
+    pub fn events(&self) -> &[AerEvent] {
+        &self.events
+    }
+
+    /// Reconstruct the dense spike map.
+    pub fn decompress(&self) -> SpikeMap {
+        let mut map = SpikeMap::silent(self.shape);
+        for e in &self.events {
+            map.set(e.y as usize, e.x as usize, e.channel as usize, true);
+        }
+        map
+    }
+
+    /// Memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.events.len() * AerEvent::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_map() -> SpikeMap {
+        let shape = TensorShape::new(3, 3, 8);
+        let mut m = SpikeMap::silent(shape);
+        m.set(0, 0, 1, true);
+        m.set(0, 0, 5, true);
+        m.set(1, 2, 0, true);
+        m.set(2, 2, 7, true);
+        m
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let map = sample_map();
+        let c = CompressedIfmap::from_spike_map(&map);
+        assert_eq!(c.spike_count(), 4);
+        assert_eq!(c.decompress(), map);
+    }
+
+    #[test]
+    fn csr_per_position_queries() {
+        let c = CompressedIfmap::from_spike_map(&sample_map());
+        assert_eq!(c.active_at(0, 0), &[1, 5]);
+        assert_eq!(c.count_at(0, 0), 2);
+        assert_eq!(c.count_at(0, 1), 0);
+        assert_eq!(c.active_at(1, 2), &[0]);
+        assert_eq!(c.s_ptr().len(), 3 * 3 + 1);
+        assert_eq!(*c.s_ptr().last().unwrap(), 4);
+    }
+
+    #[test]
+    fn csr_footprint_accounts_indices_and_pointers() {
+        let c = CompressedIfmap::from_spike_map(&sample_map());
+        assert_eq!(c.footprint_bytes(), 4 * 2 + 10 * 2);
+    }
+
+    #[test]
+    fn aer_round_trip_and_footprint() {
+        let map = sample_map();
+        let aer = AerFrame::from_spike_map(&map, 3);
+        assert_eq!(aer.events().len(), 4);
+        assert!(aer.events().iter().all(|e| e.timestamp == 3));
+        assert_eq!(aer.decompress(), map);
+        assert_eq!(aer.footprint_bytes(), 4 * AerEvent::BYTES);
+    }
+
+    #[test]
+    fn csr_is_smaller_than_aer_at_meaningful_sparsity() {
+        // A 34x34x64 ifmap firing at ~30% (like the early S-VGG11 layers).
+        let shape = TensorShape::new(34, 34, 64);
+        let mut map = SpikeMap::silent(shape);
+        for h in 0..34 {
+            for w in 0..34 {
+                for c in 0..64 {
+                    if (h * 31 + w * 17 + c * 7) % 10 < 3 {
+                        map.set(h, w, c, true);
+                    }
+                }
+            }
+        }
+        let csr = CompressedIfmap::from_spike_map(&map).footprint_bytes();
+        let aer = AerFrame::from_spike_map(&map, 0).footprint_bytes();
+        let ratio = aer as f64 / csr as f64;
+        assert!(ratio > 2.0, "CSR should be well under half of AER, got ratio {ratio}");
+    }
+
+    #[test]
+    fn fc_compression_round_trip() {
+        let spikes = vec![false, true, false, false, true, true];
+        let c = CompressedFcInput::from_spikes(&spikes);
+        assert_eq!(c.idcs(), &[1, 4, 5]);
+        assert_eq!(c.spike_count(), 3);
+        assert_eq!(c.decompress(), spikes);
+        assert_eq!(c.footprint_bytes(), 3 * 2 + 4);
+    }
+
+    #[test]
+    fn empty_map_compresses_to_pointers_only() {
+        let map = SpikeMap::silent(TensorShape::new(4, 4, 16));
+        let c = CompressedIfmap::from_spike_map(&map);
+        assert_eq!(c.spike_count(), 0);
+        assert_eq!(c.footprint_bytes(), 17 * 2);
+        assert_eq!(c.firing_rate(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Spiking-neural-network substrate for the SpikeStream reproduction.
+//!
+//! This crate provides everything above the hardware model and below the
+//! kernels:
+//!
+//! * dense activation / weight tensors in the HWC layout used by the
+//!   kernels ([`tensor`]),
+//! * the leaky integrate-and-fire neuron model ([`neuron`]),
+//! * layer descriptors and the S-VGG11 network evaluated in the paper
+//!   ([`layer`], [`model`]),
+//! * the CSR-derived compressed ifmap format and the AER format it is
+//!   compared against ([`compress`]),
+//! * spike encodings for image inputs ([`encoding`]),
+//! * a synthetic workload generator that reproduces the per-layer firing
+//!   statistics of the paper's CIFAR-10 evaluation ([`workload`]), and
+//! * a functional reference inference engine used as ground truth for the
+//!   kernel implementations ([`reference`]).
+
+pub mod compress;
+pub mod encoding;
+pub mod layer;
+pub mod model;
+pub mod neuron;
+pub mod reference;
+pub mod tensor;
+pub mod workload;
+
+pub use compress::{AerEvent, AerFrame, CompressedFcInput, CompressedIfmap};
+pub use layer::{ConvSpec, Layer, LayerKind, LinearSpec};
+pub use model::{Network, NetworkBuilder};
+pub use neuron::{LifParams, LifState};
+pub use reference::ReferenceEngine;
+pub use tensor::{SpikeMap, Tensor3, TensorShape};
+pub use workload::{FiringProfile, SpikeWorkload, WorkloadGenerator};

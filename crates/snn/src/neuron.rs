@@ -1,0 +1,183 @@
+//! Leaky integrate-and-fire (LIF) neuron dynamics.
+//!
+//! The paper's Eq. (1):
+//!
+//! ```text
+//! i_m(t)  = Σ_n s_{i,n}(t) · w_n
+//! v_m(t)  = v_m(t-1) · α + r · i_m(t) − v_rst · s_{o,m}(t)
+//! s_{o,m} = 1 if v_m(t) ≥ v_th else 0
+//! ```
+//!
+//! where the reset is applied by subtraction when the neuron fires.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the LIF neuron model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifParams {
+    /// Membrane decay factor `α` in `[0, 1]`.
+    pub alpha: f32,
+    /// Membrane resistance `r` (usually 1).
+    pub resistance: f32,
+    /// Firing threshold `v_th`.
+    pub v_threshold: f32,
+    /// Reset potential subtracted when the neuron fires.
+    pub v_reset: f32,
+}
+
+impl LifParams {
+    /// Typical parameters used for directly-trained deep SNNs.
+    pub fn new(alpha: f32, v_threshold: f32) -> Self {
+        LifParams { alpha, resistance: 1.0, v_threshold, v_reset: v_threshold }
+    }
+
+    /// Validate the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `alpha` is outside `[0, 1]` or the
+    /// threshold is not positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(format!("decay factor alpha {} must lie in [0, 1]", self.alpha));
+        }
+        if self.v_threshold <= 0.0 {
+            return Err("firing threshold must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        LifParams::new(0.5, 1.0)
+    }
+}
+
+/// Membrane state of a population of LIF neurons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifState {
+    membrane: Vec<f32>,
+}
+
+impl LifState {
+    /// A resting population of `n` neurons.
+    pub fn new(n: usize) -> Self {
+        LifState { membrane: vec![0.0; n] }
+    }
+
+    /// Number of neurons.
+    pub fn len(&self) -> usize {
+        self.membrane.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.membrane.is_empty()
+    }
+
+    /// Membrane potentials.
+    pub fn membrane(&self) -> &[f32] {
+        &self.membrane
+    }
+
+    /// Mutable membrane potentials (used by the kernels, which keep the
+    /// neuron state dense in the scratchpad).
+    pub fn membrane_mut(&mut self) -> &mut [f32] {
+        &mut self.membrane
+    }
+
+    /// Advance every neuron by one timestep given its input current.
+    ///
+    /// Returns the output spike vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len()` differs from the population size.
+    pub fn step(&mut self, params: &LifParams, currents: &[f32]) -> Vec<bool> {
+        assert_eq!(currents.len(), self.membrane.len(), "current vector length mismatch");
+        let mut spikes = Vec::with_capacity(self.membrane.len());
+        for (v, &i) in self.membrane.iter_mut().zip(currents.iter()) {
+            *v = *v * params.alpha + params.resistance * i;
+            let fired = *v >= params.v_threshold;
+            if fired {
+                *v -= params.v_reset;
+            }
+            spikes.push(fired);
+        }
+        spikes
+    }
+
+    /// Advance one neuron (used by the per-neuron fused kernels).
+    pub fn step_single(
+        &mut self,
+        params: &LifParams,
+        neuron: usize,
+        current: f32,
+    ) -> bool {
+        let v = &mut self.membrane[neuron];
+        *v = *v * params.alpha + params.resistance * current;
+        let fired = *v >= params.v_threshold;
+        if fired {
+            *v -= params.v_reset;
+        }
+        fired
+    }
+
+    /// Reset all membranes to the resting potential.
+    pub fn reset(&mut self) {
+        self.membrane.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_fires_when_threshold_is_reached() {
+        let params = LifParams::new(0.5, 1.0);
+        let mut state = LifState::new(1);
+        assert_eq!(state.step(&params, &[0.6]), vec![false]);
+        // v = 0.6*0.5 + 0.8 = 1.1 >= 1.0 -> fire, reset by subtraction.
+        assert_eq!(state.step(&params, &[0.8]), vec![true]);
+        assert!((state.membrane()[0] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silent_input_decays_membrane() {
+        let params = LifParams::new(0.5, 1.0);
+        let mut state = LifState::new(1);
+        state.membrane_mut()[0] = 0.8;
+        state.step(&params, &[0.0]);
+        assert!((state.membrane()[0] - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_single_matches_vector_step() {
+        let params = LifParams::default();
+        let mut a = LifState::new(3);
+        let mut b = LifState::new(3);
+        let currents = [0.3, 1.5, 0.9];
+        let spikes_a = a.step(&params, &currents);
+        let spikes_b: Vec<bool> =
+            (0..3).map(|n| b.step_single(&params, n, currents[n])).collect();
+        assert_eq!(spikes_a, spikes_b);
+        assert_eq!(a.membrane(), b.membrane());
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(LifParams::new(0.5, 1.0).validate().is_ok());
+        assert!(LifParams::new(1.5, 1.0).validate().is_err());
+        assert!(LifParams::new(0.5, 0.0).validate().is_err());
+    }
+
+    #[test]
+    fn reset_returns_to_rest() {
+        let mut s = LifState::new(4);
+        s.membrane_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        s.reset();
+        assert!(s.membrane().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Dense tensors and binary spike maps in HWC layout.
+//!
+//! The kernels use an HWC ("channel-last") memory layout so that the
+//! weights of different output channels sit in contiguous memory and can be
+//! batched across the SIMD lanes of the FPU (Section III-C of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a rank-3 activation tensor (height, width, channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+    /// Number of channels.
+    pub c: usize,
+}
+
+impl TensorShape {
+    /// Create a shape.
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        TensorShape { h, w, c }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Whether the shape is degenerate (any dimension zero).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(h, w, c)` in HWC layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn index(&self, h: usize, w: usize, c: usize) -> usize {
+        assert!(h < self.h && w < self.w && c < self.c, "index out of bounds");
+        (h * self.w + w) * self.c + c
+    }
+}
+
+impl std::fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "H={} W={} C={}", self.h, self.w, self.c)
+    }
+}
+
+/// A dense rank-3 `f32` tensor in HWC layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor3 {
+    shape: TensorShape,
+    data: Vec<f32>,
+}
+
+impl Tensor3 {
+    /// A zero-filled tensor of the given shape.
+    pub fn zeros(shape: TensorShape) -> Self {
+        Tensor3 { shape, data: vec![0.0; shape.len()] }
+    }
+
+    /// Build a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape.
+    pub fn from_vec(shape: TensorShape, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), shape.len(), "data length must match shape");
+        Tensor3 { shape, data }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> TensorShape {
+        self.shape
+    }
+
+    /// Immutable view of the raw data (HWC order).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data (HWC order).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at `(h, w, c)`.
+    pub fn get(&self, h: usize, w: usize, c: usize) -> f32 {
+        self.data[self.shape.index(h, w, c)]
+    }
+
+    /// Set the value at `(h, w, c)`.
+    pub fn set(&mut self, h: usize, w: usize, c: usize, value: f32) {
+        let idx = self.shape.index(h, w, c);
+        self.data[idx] = value;
+    }
+
+    /// Number of non-zero elements.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+/// A binary spike map (the sparse ifmap of one timestep) in HWC layout.
+///
+/// Values are booleans since spiking activations carry no payload — which
+/// is exactly why the compressed format can drop them (Section III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeMap {
+    shape: TensorShape,
+    spikes: Vec<bool>,
+}
+
+impl SpikeMap {
+    /// A spike map with no active neurons.
+    pub fn silent(shape: TensorShape) -> Self {
+        SpikeMap { shape, spikes: vec![false; shape.len()] }
+    }
+
+    /// Build from a boolean vector in HWC order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes.len()` does not match the shape.
+    pub fn from_vec(shape: TensorShape, spikes: Vec<bool>) -> Self {
+        assert_eq!(spikes.len(), shape.len(), "spike vector length must match shape");
+        SpikeMap { shape, spikes }
+    }
+
+    /// The map's shape.
+    pub fn shape(&self) -> TensorShape {
+        self.shape
+    }
+
+    /// Whether the neuron at `(h, w, c)` fired.
+    pub fn get(&self, h: usize, w: usize, c: usize) -> bool {
+        self.spikes[self.shape.index(h, w, c)]
+    }
+
+    /// Set the spike at `(h, w, c)`.
+    pub fn set(&mut self, h: usize, w: usize, c: usize, fired: bool) {
+        let idx = self.shape.index(h, w, c);
+        self.spikes[idx] = fired;
+    }
+
+    /// Raw boolean data in HWC order.
+    pub fn data(&self) -> &[bool] {
+        &self.spikes
+    }
+
+    /// Number of spikes in the map.
+    pub fn count_spikes(&self) -> usize {
+        self.spikes.iter().filter(|&&s| s).count()
+    }
+
+    /// Fraction of neurons that fired (the layer's firing rate).
+    pub fn firing_rate(&self) -> f64 {
+        if self.spikes.is_empty() {
+            0.0
+        } else {
+            self.count_spikes() as f64 / self.spikes.len() as f64
+        }
+    }
+
+    /// Channel indices of the active neurons at spatial position `(h, w)`,
+    /// in ascending order — one "fiber" of the compressed representation.
+    pub fn active_channels(&self, h: usize, w: usize) -> Vec<u32> {
+        (0..self.shape.c).filter(|&c| self.get(h, w, c)).map(|c| c as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwc_indexing_is_channel_fastest() {
+        let s = TensorShape::new(2, 3, 4);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 3), 3);
+        assert_eq!(s.index(0, 1, 0), 4);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        TensorShape::new(2, 2, 2).index(2, 0, 0);
+    }
+
+    #[test]
+    fn tensor_get_set_round_trip() {
+        let mut t = Tensor3::zeros(TensorShape::new(3, 3, 2));
+        t.set(1, 2, 1, 7.5);
+        assert_eq!(t.get(1, 2, 1), 7.5);
+        assert_eq!(t.count_nonzero(), 1);
+    }
+
+    #[test]
+    fn spike_map_counts_and_rates() {
+        let mut m = SpikeMap::silent(TensorShape::new(2, 2, 4));
+        assert_eq!(m.firing_rate(), 0.0);
+        m.set(0, 0, 1, true);
+        m.set(1, 1, 3, true);
+        assert_eq!(m.count_spikes(), 2);
+        assert!((m.firing_rate() - 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_channels_are_sorted() {
+        let mut m = SpikeMap::silent(TensorShape::new(1, 1, 8));
+        for c in [5, 1, 7] {
+            m.set(0, 0, c, true);
+        }
+        assert_eq!(m.active_channels(0, 0), vec![1, 5, 7]);
+        assert!(m.active_channels(0, 0).windows(2).all(|w| w[0] < w[1]));
+    }
+}

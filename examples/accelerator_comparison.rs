@@ -1,0 +1,40 @@
+//! Comparison against the state-of-the-art neuromorphic accelerators on
+//! the 6th S-VGG11 layer over 500 timesteps (Fig. 5 of the paper).
+//!
+//! ```text
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use spikestream::experiments::fig5_accelerators;
+
+fn main() {
+    let rows = fig5_accelerators(500, 16);
+    println!("6th S-VGG11 layer, 500 timesteps, CIFAR-10\n");
+    println!(
+        "{:<34} {:>14} {:>14} {:>10} {:>8}",
+        "platform", "latency [ms]", "energy [mJ]", "peak GSOP", "tech"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:>14.2} {:>14.2} {:>10.1} {:>6} nm",
+            r.name, r.latency_ms, r.energy_mj, r.peak_gsop, r.technology_nm
+        );
+    }
+
+    let ours = rows
+        .iter()
+        .find(|r| r.name.contains("SpikeStream FP8"))
+        .expect("FP8 row present");
+    let lsm = rows.iter().find(|r| r.name == "LSMCore").expect("LSMCore row present");
+    let loihi = rows.iter().find(|r| r.name == "Loihi").expect("Loihi row present");
+    println!();
+    println!(
+        "SpikeStream FP8 vs Loihi:   {:.2}x faster",
+        loihi.latency_ms / ours.latency_ms
+    );
+    println!(
+        "SpikeStream FP8 vs LSMCore: {:.2}x slower, {:.2}x more energy-efficient",
+        ours.latency_ms / lsm.latency_ms,
+        lsm.energy_mj / ours.energy_mj
+    );
+}

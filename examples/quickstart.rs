@@ -1,0 +1,61 @@
+//! Quickstart: run the S-VGG11 network with both code variants and print
+//! the end-to-end comparison the paper's abstract is built on.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel};
+
+fn main() {
+    let engine = Engine::svgg11(42);
+    let batch = 16;
+
+    let run = |variant, format| {
+        engine.run(&InferenceConfig {
+            variant,
+            format,
+            timing: TimingModel::Analytic,
+            batch,
+            seed: 7,
+        })
+    };
+
+    let baseline = run(KernelVariant::Baseline, FpFormat::Fp16);
+    let streamed16 = run(KernelVariant::SpikeStream, FpFormat::Fp16);
+    let streamed8 = run(KernelVariant::SpikeStream, FpFormat::Fp8);
+
+    println!("S-VGG11 single-timestep inference, batch of {batch} synthetic CIFAR-10 frames\n");
+    println!(
+        "{:<26} {:>14} {:>12} {:>12} {:>12}",
+        "configuration", "cycles", "time [ms]", "FPU util", "energy [mJ]"
+    );
+    for (name, report) in [
+        ("Baseline FP16", &baseline),
+        ("SpikeStream FP16", &streamed16),
+        ("SpikeStream FP8", &streamed8),
+    ] {
+        println!(
+            "{:<26} {:>14.0} {:>12.3} {:>11.1}% {:>12.3}",
+            name,
+            report.total_cycles(),
+            report.total_seconds() * 1e3,
+            report.average_utilization() * 100.0,
+            report.total_energy_j() * 1e3
+        );
+    }
+
+    println!();
+    println!(
+        "SpikeStream FP16 speedup over baseline: {:.2}x",
+        streamed16.speedup_over(&baseline)
+    );
+    println!(
+        "SpikeStream FP8  speedup over baseline: {:.2}x",
+        streamed8.speedup_over(&baseline)
+    );
+    println!(
+        "Energy-efficiency gain (FP8 vs baseline): {:.2}x",
+        streamed8.energy_gain_over(&baseline)
+    );
+}

@@ -1,0 +1,53 @@
+//! Per-layer walk through an S-VGG11 inference: prints, for every layer,
+//! the firing activity, runtime, utilization and energy of the baseline and
+//! SpikeStream kernels — i.e. the raw material of Figs. 3 and 4.
+//!
+//! ```text
+//! cargo run --release --example svgg11_inference -- [batch]
+//! ```
+
+use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel};
+
+fn main() {
+    let batch: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(16);
+    let engine = Engine::svgg11(42);
+
+    let run = |variant| {
+        engine.run(&InferenceConfig {
+            variant,
+            format: FpFormat::Fp16,
+            timing: TimingModel::Analytic,
+            batch,
+            seed: 11,
+        })
+    };
+    let baseline = run(KernelVariant::Baseline);
+    let streamed = run(KernelVariant::SpikeStream);
+
+    println!("S-VGG11 per-layer breakdown (FP16, batch {batch})\n");
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>9} {:>10} {:>10} {:>10}",
+        "layer", "firing", "base cycles", "strm cycles", "speedup", "base util", "strm util", "E gain"
+    );
+    for (b, s) in baseline.layers.iter().zip(streamed.layers.iter()) {
+        println!(
+            "{:<8} {:>7.1}% {:>14.0} {:>14.0} {:>8.2}x {:>9.1}% {:>9.1}% {:>9.2}x",
+            b.name,
+            b.input_firing_rate * 100.0,
+            b.cycles,
+            s.cycles,
+            b.cycles / s.cycles.max(1.0),
+            b.fpu_utilization * 100.0,
+            s.fpu_utilization * 100.0,
+            b.energy_j / s.energy_j.max(f64::MIN_POSITIVE),
+        );
+    }
+
+    println!(
+        "\nEnd to end: {:.2}x faster, utilization {:.1}% -> {:.1}%, {:.2}x less energy",
+        streamed.speedup_over(&baseline),
+        baseline.average_utilization() * 100.0,
+        streamed.average_utilization() * 100.0,
+        streamed.energy_gain_over(&baseline)
+    );
+}

@@ -1,0 +1,14 @@
+//! Workspace umbrella crate for the SpikeStream reproduction.
+//!
+//! This crate only re-exports the member crates so that the repository-level
+//! examples and integration tests have a single import root. The actual
+//! library lives in the `crates/` members; start from [`spikestream`].
+
+pub use neuro_accel_models as accel_models;
+pub use snitch_arch as arch;
+pub use snitch_mem as mem;
+pub use snitch_sim as sim;
+pub use spikestream as core;
+pub use spikestream_energy as energy;
+pub use spikestream_kernels as kernels;
+pub use spikestream_snn as snn;

@@ -1,0 +1,78 @@
+//! Property-based integration tests on the compression formats and the
+//! floating-point conversions — the two data-representation substrates the
+//! kernels rely on.
+
+use proptest::prelude::*;
+
+use snitch_arch::fp::{f16_to_f32, f32_to_f16, f32_to_f8, f8_to_f32, FpFormat};
+use spikestream_snn::tensor::{SpikeMap, TensorShape};
+use spikestream_snn::{AerFrame, CompressedFcInput, CompressedIfmap};
+
+proptest! {
+    /// CSR-derived compression is lossless for any spike pattern.
+    #[test]
+    fn csr_compression_round_trips(
+        h in 1usize..8,
+        w in 1usize..8,
+        c in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let shape = TensorShape::new(h, w, c);
+        let mut map = SpikeMap::silent(shape);
+        let mut state = seed;
+        for i in 0..shape.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state >> 60 < 5 {
+                map.set(i / (w * c), (i / c) % w, i % c, true);
+            }
+        }
+        let compressed = CompressedIfmap::from_spike_map(&map);
+        prop_assert_eq!(compressed.decompress(), map.clone());
+        prop_assert_eq!(compressed.spike_count(), map.count_spikes());
+
+        // AER is also lossless, and never smaller than CSR for 16-bit fields.
+        let aer = AerFrame::from_spike_map(&map, 0);
+        prop_assert_eq!(aer.decompress(), map);
+        if compressed.spike_count() > shape.h * shape.w {
+            prop_assert!(aer.footprint_bytes() > compressed.footprint_bytes());
+        }
+    }
+
+    /// FC compression is lossless for any boolean vector.
+    #[test]
+    fn fc_compression_round_trips(spikes in proptest::collection::vec(any::<bool>(), 0..2048)) {
+        let compressed = CompressedFcInput::from_spikes(&spikes);
+        prop_assert_eq!(compressed.decompress(), spikes);
+    }
+
+    /// FP16 conversion round-trips exactly for values already representable
+    /// in binary16, and is monotone for finite inputs.
+    #[test]
+    fn f16_round_trip_is_stable(bits in any::<u16>()) {
+        let v = f16_to_f32(bits);
+        if v.is_finite() {
+            // Converting an exactly representable value back is lossless.
+            prop_assert_eq!(f16_to_f32(f32_to_f16(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    /// Quantization never increases magnitude beyond the format's maximum
+    /// and is idempotent.
+    #[test]
+    fn quantization_is_idempotent(v in -1.0e5f32..1.0e5f32) {
+        for format in [FpFormat::Fp32, FpFormat::Fp16, FpFormat::Fp8] {
+            let q = format.quantize(v);
+            prop_assert_eq!(format.quantize(q), q);
+        }
+        let q8 = f8_to_f32(f32_to_f8(v));
+        prop_assert!(q8.abs() <= 448.0);
+    }
+
+    /// FP8 rounding error is bounded by half a mantissa step (relative).
+    #[test]
+    fn f8_relative_error_is_bounded(v in 0.02f32..400.0f32) {
+        let q = f8_to_f32(f32_to_f8(v));
+        let rel = ((q - v) / v).abs();
+        prop_assert!(rel <= 0.0667, "value {v} quantized to {q} (rel err {rel})");
+    }
+}

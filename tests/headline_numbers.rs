@@ -1,0 +1,35 @@
+//! Integration test E7: the headline numbers of the paper's abstract.
+//!
+//! We do not require exact matches with the paper (our substrate is an
+//! architectural model, not the authors' RTL + post-layout flow), but the
+//! *shape* must hold: a large speedup from streaming, a utilization jump
+//! from ~10% to >40%, bigger gains in FP8 than FP16, and energy-efficiency
+//! improvements alongside the speedup.
+
+use spikestream::experiments::headline;
+
+#[test]
+fn headline_numbers_have_the_paper_shape() {
+    let h = headline(16);
+
+    // Paper: 4.39x (abstract) .. 7.29x (FP8) end-to-end speedup.
+    assert!(h.speedup_fp16 > 3.0, "FP16 speedup {:.2}", h.speedup_fp16);
+    assert!(h.speedup_fp8 > h.speedup_fp16, "FP8 must beat FP16");
+    assert!(h.speedup_fp8 < 12.0, "speedup should stay physically plausible");
+
+    // Paper: utilization rises from 9.28% to 52.3%.
+    assert!(
+        h.utilization_baseline > 0.05 && h.utilization_baseline < 0.20,
+        "baseline utilization {:.3}",
+        h.utilization_baseline
+    );
+    assert!(
+        h.utilization_spikestream > 0.40,
+        "SpikeStream utilization {:.3}",
+        h.utilization_spikestream
+    );
+
+    // Paper: 3.25x (FP16) and 5.67x (FP8) energy-efficiency gains.
+    assert!(h.energy_gain_fp16 > 1.5, "FP16 energy gain {:.2}", h.energy_gain_fp16);
+    assert!(h.energy_gain_fp8 > h.energy_gain_fp16, "FP8 energy gain must be larger");
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration test: the cycle-level kernels (baseline and
+//! SpikeStream, all storage formats) must agree with the functional
+//! reference engine on a small but non-trivial network, and the two code
+//! variants must be bit-identical to each other.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snitch_arch::{ClusterConfig, CostModel};
+use snitch_sim::ClusterModel;
+use spikestream::{FpFormat, KernelVariant};
+use spikestream_kernels::{ConvKernel, FcKernel};
+use spikestream_snn::neuron::LifParams;
+use spikestream_snn::tensor::{SpikeMap, TensorShape};
+use spikestream_snn::{
+    CompressedFcInput, CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, LinearSpec,
+    ReferenceEngine,
+};
+
+fn conv_layer() -> (Layer, ConvSpec) {
+    let spec = ConvSpec {
+        input: TensorShape::new(6, 6, 12),
+        out_channels: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        pool: false,
+    };
+    let mut layer = Layer::new("conv", LayerKind::Conv(spec), LifParams::new(0.5, 0.25));
+    let mut rng = StdRng::seed_from_u64(100);
+    layer.randomize_weights(&mut rng, 0.15);
+    (layer, spec)
+}
+
+fn conv_input(spec: &ConvSpec, rate: f64) -> CompressedIfmap {
+    let mut rng = StdRng::seed_from_u64(200);
+    let shape = spec.padded_input();
+    let mut map = SpikeMap::silent(shape);
+    for h in 1..shape.h - 1 {
+        for w in 1..shape.w - 1 {
+            for c in 0..shape.c {
+                if rng.gen_bool(rate) {
+                    map.set(h, w, c, true);
+                }
+            }
+        }
+    }
+    CompressedIfmap::from_spike_map(&map)
+}
+
+#[test]
+fn conv_kernels_match_reference_for_every_format_and_variant() {
+    let (layer, spec) = conv_layer();
+    let input = conv_input(&spec, 0.3);
+    let reference = ReferenceEngine::new();
+    let ref_currents = reference.conv_currents(&layer, &spec, &input.decompress());
+
+    for format in [FpFormat::Fp32, FpFormat::Fp16, FpFormat::Fp8] {
+        let mut outputs = Vec::new();
+        for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
+            let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
+            let mut state = LifState::new(spec.conv_output().len());
+            let out = ConvKernel::new(variant, format).run(&mut cluster, &layer, &input, &mut state);
+            outputs.push(out);
+        }
+        // The two variants are always bit-identical to each other.
+        assert_eq!(outputs[0].spikes, outputs[1].spikes, "{format}");
+        assert_eq!(outputs[0].currents, outputs[1].currents, "{format}");
+
+        // And close to the unquantized reference (tolerance scales with the
+        // format's precision).
+        let tol = match format {
+            FpFormat::Fp32 => 1e-4,
+            FpFormat::Fp16 => 2e-2,
+            _ => 0.4,
+        };
+        for (a, b) in outputs[0].currents.data().iter().zip(ref_currents.data()) {
+            assert!((a - b).abs() <= tol, "{format}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn fc_kernels_match_reference_and_each_other() {
+    let spec = LinearSpec { in_features: 300, out_features: 40 };
+    let mut layer = Layer::new("fc", LayerKind::Linear(spec), LifParams::new(0.5, 0.2));
+    let mut rng = StdRng::seed_from_u64(300);
+    layer.randomize_weights(&mut rng, 0.1);
+    let spikes: Vec<bool> = (0..300).map(|_| rng.gen_bool(0.08)).collect();
+    let input = CompressedFcInput::from_spikes(&spikes);
+
+    let reference = ReferenceEngine::new();
+    let ref_currents = reference.linear_currents(&layer, &spec, &spikes);
+
+    let mut results = Vec::new();
+    for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
+        let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
+        let mut state = LifState::new(spec.out_features);
+        results.push(FcKernel::new(variant, FpFormat::Fp32).run(
+            &mut cluster,
+            &layer,
+            &input,
+            &mut state,
+        ));
+    }
+    assert_eq!(results[0].spikes, results[1].spikes);
+    for (a, b) in results[0].currents.iter().zip(ref_currents.iter()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn streaming_speedup_grows_with_channel_depth() {
+    // The paper's core observation: deeper (wider-channel) layers have
+    // longer SpVA streams and therefore benefit more from the SSRs.
+    let speedup_for_depth = |in_c: usize| {
+        let spec = ConvSpec {
+            input: TensorShape::new(6, 6, in_c),
+            out_channels: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            pool: false,
+        };
+        let mut layer = Layer::new("c", LayerKind::Conv(spec), LifParams::new(0.5, 0.3));
+        let mut rng = StdRng::seed_from_u64(7);
+        layer.randomize_weights(&mut rng, 0.1);
+        let input = conv_input(&spec, 0.25);
+        let mut cycles = Vec::new();
+        for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
+            let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
+            let mut state = LifState::new(spec.conv_output().len());
+            ConvKernel::new(variant, FpFormat::Fp16).run(&mut cluster, &layer, &input, &mut state);
+            cycles.push(cluster.finish_phase("x").compute_cycles as f64);
+        }
+        cycles[0] / cycles[1]
+    };
+    let shallow = speedup_for_depth(8);
+    let deep = speedup_for_depth(128);
+    assert!(deep > shallow, "deep {deep:.2} vs shallow {shallow:.2}");
+}
