@@ -145,14 +145,10 @@ mod tests {
         let synops = layer6_synops_500ts();
         let results: Vec<AcceleratorResult> =
             AcceleratorSpec::soa().iter().map(|a| a.run(synops)).collect();
-        let fastest = results
-            .iter()
-            .min_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).unwrap())
-            .unwrap();
-        let slowest = results
-            .iter()
-            .max_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).unwrap())
-            .unwrap();
+        let fastest =
+            results.iter().min_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).unwrap()).unwrap();
+        let slowest =
+            results.iter().max_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).unwrap()).unwrap();
         assert_eq!(fastest.name, "LSMCore");
         assert_eq!(slowest.name, "ODIN");
     }

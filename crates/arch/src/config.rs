@@ -86,7 +86,7 @@ impl ClusterConfig {
         if !self.spm_banks.is_power_of_two() {
             return Err(format!("SPM bank count {} must be a power of two", self.spm_banks));
         }
-        if self.spm_bytes % (self.spm_banks * self.spm_bank_width_bytes) != 0 {
+        if !self.spm_bytes.is_multiple_of(self.spm_banks * self.spm_bank_width_bytes) {
             return Err("SPM size must be a multiple of banks * bank width".into());
         }
         if self.clock_hz <= 0.0 {
@@ -123,16 +123,13 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = ClusterConfig::default();
-        c.worker_cores = 0;
+        let c = ClusterConfig { worker_cores: 0, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = ClusterConfig::default();
-        c.spm_banks = 30;
+        let c = ClusterConfig { spm_banks: 30, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = ClusterConfig::default();
-        c.clock_hz = 0.0;
+        let c = ClusterConfig { clock_hz: 0.0, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
     }
 

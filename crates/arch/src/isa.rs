@@ -140,11 +140,8 @@ impl StreamPattern {
                 let dims = bounds.len();
                 let mut idx = vec![0u32; dims];
                 loop {
-                    let offset: i64 = idx
-                        .iter()
-                        .zip(strides.iter())
-                        .map(|(&i, &s)| i as i64 * s)
-                        .sum();
+                    let offset: i64 =
+                        idx.iter().zip(strides.iter()).map(|(&i, &s)| i as i64 * s).sum();
                     addrs.push((*base as i64 + offset) as u32);
                     // Increment the innermost-first counter vector.
                     let mut d = 0;
@@ -161,10 +158,9 @@ impl StreamPattern {
                     }
                 }
             }
-            StreamPattern::Indirect { data_base, elem_bytes, indices, .. } => indices
-                .iter()
-                .map(|&i| data_base.wrapping_add(i * elem_bytes))
-                .collect(),
+            StreamPattern::Indirect { data_base, elem_bytes, indices, .. } => {
+                indices.iter().map(|&i| data_base.wrapping_add(i * elem_bytes)).collect()
+            }
         }
     }
 }
@@ -270,12 +266,8 @@ mod tests {
 
     #[test]
     fn affine_stream_addresses_1d() {
-        let p = StreamPattern::Affine {
-            base: 0x100,
-            strides: vec![8],
-            bounds: vec![4],
-            elem_bytes: 8,
-        };
+        let p =
+            StreamPattern::Affine { base: 0x100, strides: vec![8], bounds: vec![4], elem_bytes: 8 };
         assert_eq!(p.length(), 4);
         assert_eq!(p.data_addresses(), vec![0x100, 0x108, 0x110, 0x118]);
     }

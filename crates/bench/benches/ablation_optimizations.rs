@@ -1,8 +1,8 @@
 //! Bench for experiment E8: ablation over the streaming design choices.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use spikestream::experiments::ablation;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("ablation_optimizations", |b| {

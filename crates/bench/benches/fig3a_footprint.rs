@@ -1,9 +1,9 @@
 //! Bench for experiment E1 (Fig. 3a): ifmap footprint AER vs CSR.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use spikestream::experiments::fig3a_footprint;
 use spikestream_bench::BENCH_BATCH;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig3a_footprint", |b| {

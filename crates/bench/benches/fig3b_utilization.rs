@@ -1,9 +1,9 @@
 //! Bench for experiment E2 (Fig. 3b): FPU utilization and IPC per layer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use spikestream::experiments::fig3b_utilization;
 use spikestream_bench::BENCH_BATCH;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig3b_utilization", |b| {

@@ -1,9 +1,9 @@
 //! Bench for experiment E3 (Fig. 3c): per-layer speedups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use spikestream::experiments::fig3c_speedup;
 use spikestream_bench::BENCH_BATCH;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig3c_speedup", |b| {

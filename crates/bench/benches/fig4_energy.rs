@@ -1,9 +1,9 @@
 //! Bench for experiment E4 (Fig. 4): per-layer energy and power.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use spikestream::experiments::fig4_energy;
 use spikestream_bench::BENCH_BATCH;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig4_energy", |b| {

@@ -2,9 +2,9 @@
 //! accelerators on the 6th S-VGG11 layer over 500 timesteps.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use spikestream::experiments::fig5_accelerators;
 use spikestream_bench::BENCH_BATCH;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig5_accelerators", |b| {

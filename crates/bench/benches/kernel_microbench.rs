@@ -3,13 +3,13 @@
 //! cost of the trace-driven simulation itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spikestream::{ClusterConfig, CostModel, FpFormat, KernelVariant};
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::{SpikeMap, TensorShape};
 use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState};
+use std::time::Duration;
 
 fn setup() -> (Layer, ConvSpec, CompressedIfmap) {
     let spec = ConvSpec {
@@ -44,10 +44,8 @@ fn bench(c: &mut Criterion) {
     for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
         group.bench_function(format!("{variant}"), |b| {
             b.iter(|| {
-                let mut cluster = snitch_sim::ClusterModel::new(
-                    ClusterConfig::default(),
-                    CostModel::default(),
-                );
+                let mut cluster =
+                    snitch_sim::ClusterModel::new(ClusterConfig::default(), CostModel::default());
                 let mut state = LifState::new(spec.conv_output().len());
                 let kernel = spikestream_kernels::ConvKernel::new(variant, FpFormat::Fp16);
                 kernel.run(&mut cluster, &layer, &input, &mut state);

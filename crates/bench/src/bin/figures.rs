@@ -22,13 +22,10 @@ fn main() {
                 i += 2;
             }
             "--batch" => {
-                batch = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("invalid --batch value, falling back to {}", paper_batch());
-                        paper_batch()
-                    });
+                batch = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("invalid --batch value, falling back to {}", paper_batch());
+                    paper_batch()
+                });
                 i += 2;
             }
             "--help" | "-h" => {
@@ -47,10 +44,17 @@ fn main() {
         None => all_figures().iter().map(|s| s.to_string()).collect(),
     };
     println!("SpikeStream reproduction — batch size {batch}\n");
+    let mut failed = false;
     for f in figures {
         match print_figure(&f, batch) {
             Ok(table) => println!("{table}"),
-            Err(e) => eprintln!("error: {e}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,113 @@
+//! The closed-form analytic backend.
+
+use spikestream_energy::Activity;
+use spikestream_kernels::{AnalyticLayerModel, LayerTiming};
+use spikestream_snn::compress::INDEX_BYTES;
+use spikestream_snn::{AerEvent, LayerKind};
+
+use super::{ExecutionBackend, LayerSample, SampleContext};
+
+/// Closed-form layer-timing backend (fast; used for full-batch figure
+/// runs). Layer runtimes come from the
+/// [`AnalyticLayerModel`](spikestream_kernels::AnalyticLayerModel); spike
+/// counts and footprints are the expected values implied by each sample's
+/// jittered firing rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticBackend;
+
+impl ExecutionBackend for AnalyticBackend {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample> {
+        let model = AnalyticLayerModel::new(ctx.cluster.clone(), ctx.cost.clone());
+        let n = ctx.network.len();
+        let mut out = Vec::with_capacity(n);
+        for (idx, layer) in ctx.network.layers().iter().enumerate() {
+            let input_rate = ctx.sample_rate(idx, sample);
+            let output_rate = ctx.sample_rate((idx + 1).min(n - 1), sample);
+            let timing = model.layer(
+                &layer.kind,
+                layer.encodes_input,
+                ctx.config.variant,
+                ctx.config.format,
+                input_rate,
+                output_rate,
+            );
+            out.push(layer_sample(ctx, &layer.kind, idx, input_rate, &timing));
+        }
+        out
+    }
+}
+
+fn layer_sample(
+    ctx: &SampleContext<'_>,
+    kind: &LayerKind,
+    idx: usize,
+    input_rate: f64,
+    timing: &LayerTiming,
+) -> LayerSample {
+    let cores = ctx.cluster.worker_cores as u64;
+    let activity = Activity {
+        cycles: timing.cycles,
+        int_instrs: timing.int_instrs * cores,
+        flops: timing.flops,
+        dma_bytes: timing.dma_bytes_in + timing.dma_bytes_out,
+        format: ctx.config.format,
+    };
+    let energy_j = ctx.energy.energy_j(&activity);
+    let (csr, aer) = footprints(kind, idx, input_rate);
+    LayerSample {
+        cycles: timing.cycles as f64,
+        fpu_utilization: timing.fpu_utilization,
+        ipc: timing.ipc,
+        input_firing_rate: input_rate,
+        input_spikes: expected_input_spikes(kind, idx, input_rate),
+        synops: timing.synops as f64,
+        energy_j,
+        csr_footprint_bytes: csr,
+        aer_footprint_bytes: aer,
+    }
+}
+
+/// Expected ifmap footprints under the sample's firing rate, matching the
+/// formats of Fig. 3a (CSR-derived vs AER).
+fn footprints(kind: &LayerKind, idx: usize, rate: f64) -> (f64, f64) {
+    let rate = if idx == 0 { 1.0 } else { rate };
+    match kind {
+        LayerKind::Conv(spec) => {
+            let padded = spec.padded_input();
+            let spikes = padded.len() as f64 * rate;
+            let csr =
+                spikes * INDEX_BYTES as f64 + ((padded.h * padded.w + 1) * INDEX_BYTES) as f64;
+            let aer = spikes * AerEvent::BYTES as f64;
+            (csr, aer)
+        }
+        LayerKind::Linear(spec) => {
+            let spikes = spec.in_features as f64 * rate;
+            (spikes * INDEX_BYTES as f64 + 4.0, spikes * AerEvent::BYTES as f64)
+        }
+    }
+}
+
+/// Expected input spike count under the sample's firing rate. Mirrors the
+/// workload generator: the encoding layer consumes every (dense) pixel, and
+/// the silent padded border of conv inputs carries no spikes.
+fn expected_input_spikes(kind: &LayerKind, idx: usize, rate: f64) -> f64 {
+    match kind {
+        LayerKind::Conv(spec) => {
+            let padded = spec.padded_input();
+            if idx == 0 {
+                return padded.len() as f64;
+            }
+            let interior = if padded.h > 2 * spec.padding {
+                (padded.h - 2 * spec.padding) * (padded.w - 2 * spec.padding) * padded.c
+            } else {
+                padded.len()
+            };
+            interior as f64 * rate
+        }
+        LayerKind::Linear(spec) => spec.in_features as f64 * rate,
+    }
+}

@@ -1,0 +1,59 @@
+//! The trace-driven cycle-level backend.
+
+use snitch_sim::ClusterModel;
+use spikestream_energy::Activity;
+use spikestream_kernels::{LayerExecutor, LayerInput};
+use spikestream_snn::{LayerKind, WorkloadGenerator};
+
+use super::{ExecutionBackend, LayerSample, SampleContext};
+
+/// Cycle-level backend: generates a spike workload for the sample and runs
+/// every layer through the
+/// [`LayerExecutor`](spikestream_kernels::LayerExecutor) kernel dispatch on
+/// a fresh [`ClusterModel`] (slower than the analytic backend; used for
+/// validation and small batches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleLevelBackend;
+
+impl ExecutionBackend for CycleLevelBackend {
+    fn name(&self) -> &'static str {
+        "cycle-level"
+    }
+
+    fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample> {
+        let generator = WorkloadGenerator::new(ctx.profile.clone(), ctx.config.seed);
+        let workload = generator.generate(ctx.network, sample);
+        let executor = LayerExecutor::new(ctx.config.variant, ctx.config.format);
+        let mut out = Vec::with_capacity(ctx.network.len());
+
+        for (idx, layer) in ctx.network.layers().iter().enumerate() {
+            let mut cluster = ClusterModel::new(ctx.cluster.clone(), ctx.cost.clone());
+            let input = match &layer.kind {
+                LayerKind::Conv(_) if layer.encodes_input => LayerInput::Image(&workload.image),
+                _ => LayerInput::Spikes(workload.spikes_for_layer(idx)),
+            };
+            let exec = executor.run(&mut cluster, layer, input);
+            let stats = cluster.finish_phase(&layer.name);
+
+            let activity = Activity {
+                cycles: stats.compute_cycles.max(1),
+                int_instrs: stats.totals.int_instrs,
+                flops: stats.totals.flops,
+                dma_bytes: stats.dma_bytes_in + stats.dma_bytes_out,
+                format: ctx.config.format,
+            };
+            out.push(LayerSample {
+                cycles: stats.compute_cycles.max(1) as f64,
+                fpu_utilization: stats.fpu_utilization,
+                ipc: stats.ipc,
+                input_firing_rate: exec.input_rate,
+                input_spikes: exec.input_spikes as f64,
+                synops: exec.synops,
+                energy_j: ctx.energy.energy_j(&activity),
+                csr_footprint_bytes: exec.csr_footprint_bytes,
+                aer_footprint_bytes: exec.aer_footprint_bytes,
+            });
+        }
+        out
+    }
+}

@@ -1,0 +1,160 @@
+//! Pluggable execution backends.
+//!
+//! An [`ExecutionBackend`] evaluates **one batch sample** of a network and
+//! returns one [`LayerSample`] per layer. The [`Engine`](crate::Engine)
+//! owns everything around that: it builds the shared [`SampleContext`],
+//! fans the batch out over worker threads (each sample is seeded
+//! independently, so the parallel result is bit-identical to a sequential
+//! run), and averages the samples into an
+//! [`InferenceReport`](crate::InferenceReport).
+//!
+//! Two backends ship with the crate, mirroring the two timing models of
+//! the paper's evaluation:
+//!
+//! * [`AnalyticBackend`] — the closed-form layer model, fast enough for
+//!   full-batch figure sweeps;
+//! * [`CycleLevelBackend`] — the trace-driven cluster simulation behind a
+//!   [`LayerExecutor`](spikestream_kernels::LayerExecutor), used for
+//!   validation.
+//!
+//! Third-party backends (accelerator models, event-driven simulators, …)
+//! implement the same trait and run through
+//! [`Engine::run_with_backend`](crate::Engine::run_with_backend) without
+//! touching the engine.
+
+mod analytic;
+mod cycle;
+
+pub use analytic::AnalyticBackend;
+pub use cycle::CycleLevelBackend;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snitch_arch::{ClusterConfig, CostModel};
+use spikestream_energy::EnergyModel;
+use spikestream_snn::{FiringProfile, Network};
+
+use crate::engine::{InferenceConfig, TimingModel};
+
+/// Everything a backend needs to evaluate batch samples: the network, its
+/// firing profile, the hardware and energy models, and the run
+/// configuration (variant, format, seed).
+#[derive(Debug, Clone, Copy)]
+pub struct SampleContext<'a> {
+    /// The network being evaluated.
+    pub network: &'a Network,
+    /// Per-layer firing statistics driving workload generation.
+    pub profile: &'a FiringProfile,
+    /// Cluster configuration (cores, clock, scratchpad).
+    pub cluster: &'a ClusterConfig,
+    /// Per-operation cycle costs.
+    pub cost: &'a CostModel,
+    /// Energy model applied to the activity of each layer.
+    pub energy: &'a EnergyModel,
+    /// The inference configuration of this run.
+    pub config: &'a InferenceConfig,
+}
+
+impl SampleContext<'_> {
+    /// Jittered firing rate of layer `idx` for a batch sample.
+    ///
+    /// Deterministic in `(config.seed, sample, idx)` — this is what makes
+    /// parallel batch execution bit-identical to a sequential run: no RNG
+    /// state is shared between samples.
+    pub fn sample_rate(&self, idx: usize, sample: usize) -> f64 {
+        let base = self.profile.rate(idx);
+        if idx == 0 {
+            return base;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ ((sample as u64) << 20) ^ ((idx as u64) << 4));
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (base * (1.0 + self.profile.relative_std * gauss)).clamp(0.0, 1.0)
+    }
+}
+
+/// Per-sample, per-layer measurement before averaging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSample {
+    /// Runtime in cycles.
+    pub cycles: f64,
+    /// FPU utilization (0..=1).
+    pub fpu_utilization: f64,
+    /// Instructions per cycle per core.
+    pub ipc: f64,
+    /// Firing rate of the layer's input.
+    pub input_firing_rate: f64,
+    /// Input spike count (dense pixels for the encoding layer).
+    pub input_spikes: f64,
+    /// Synaptic operations executed.
+    pub synops: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Compressed (CSR-derived) input footprint in bytes.
+    pub csr_footprint_bytes: f64,
+    /// AER input footprint in bytes.
+    pub aer_footprint_bytes: f64,
+}
+
+/// A strategy for evaluating one batch sample of a network.
+///
+/// Implementations must be stateless across samples (all per-sample
+/// randomness derived from `(ctx.config.seed, sample)`), which lets the
+/// engine run samples on worker threads in any order while producing
+/// results bit-identical to a sequential loop.
+pub trait ExecutionBackend: Send + Sync {
+    /// Human-readable backend name (for reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate batch sample `sample`, returning one [`LayerSample`] per
+    /// network layer, in layer order.
+    fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample>;
+}
+
+/// The built-in backend implementing a [`TimingModel`].
+pub fn for_timing(timing: TimingModel) -> &'static dyn ExecutionBackend {
+    match timing {
+        TimingModel::Analytic => &AnalyticBackend,
+        TimingModel::CycleLevel => &CycleLevelBackend,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_timing_selects_the_matching_backend() {
+        assert_eq!(for_timing(TimingModel::Analytic).name(), "analytic");
+        assert_eq!(for_timing(TimingModel::CycleLevel).name(), "cycle-level");
+    }
+
+    #[test]
+    fn sample_rates_are_deterministic_and_jittered() {
+        let network = Network::svgg11(1);
+        let profile = FiringProfile::paper_svgg11();
+        let cluster = ClusterConfig::default();
+        let cost = CostModel::default();
+        let energy = EnergyModel::calibrated();
+        let config = crate::InferenceConfig::paper(
+            spikestream_kernels::KernelVariant::SpikeStream,
+            snitch_arch::fp::FpFormat::Fp16,
+        );
+        let ctx = SampleContext {
+            network: &network,
+            profile: &profile,
+            cluster: &cluster,
+            cost: &cost,
+            energy: &energy,
+            config: &config,
+        };
+        // Layer 0 is the dense encoding layer: no jitter.
+        assert_eq!(ctx.sample_rate(0, 0), ctx.sample_rate(0, 5));
+        // Spiking layers: deterministic per sample, different across samples.
+        assert_eq!(ctx.sample_rate(2, 3), ctx.sample_rate(2, 3));
+        assert_ne!(ctx.sample_rate(2, 3), ctx.sample_rate(2, 4));
+    }
+}

@@ -1,22 +1,22 @@
 //! The inference engine: runs a network on the modelled cluster.
+//!
+//! The engine is backend-agnostic: per-sample evaluation lives behind the
+//! [`ExecutionBackend`] trait (see [`crate::backend`]), and [`Engine::run`]
+//! fans the batch out over worker threads. Every sample derives its
+//! randomness from `(config.seed, sample)` alone, so the parallel result
+//! is bit-identical to a sequential run — [`Engine::run_sequential`] exists
+//! to assert exactly that.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use snitch_arch::fp::FpFormat;
 use snitch_arch::{ClusterConfig, CostModel};
-use snitch_sim::ClusterModel;
-use spikestream_energy::{Activity, EnergyModel};
-use spikestream_kernels::{
-    AnalyticLayerModel, ConvKernel, DenseEncodingKernel, FcKernel, KernelVariant, LayerTiming,
-};
-use spikestream_snn::compress::INDEX_BYTES;
-use spikestream_snn::{
-    AerEvent, CompressedFcInput, CompressedIfmap, FiringProfile, LayerKind, LifState, Network,
-    WorkloadGenerator,
-};
+use spikestream_energy::EnergyModel;
+use spikestream_kernels::KernelVariant;
+use spikestream_snn::{FiringProfile, Network};
 
+use crate::backend::{self, ExecutionBackend, LayerSample, SampleContext};
 use crate::report::{InferenceReport, LayerReport};
 
 /// Which timing model the engine uses.
@@ -108,26 +108,74 @@ impl Engine {
         self
     }
 
-    /// Run the network under `config` and return the averaged report.
-    pub fn run(&self, config: &InferenceConfig) -> InferenceReport {
-        let batch = config.batch.max(1);
-        let mut accum: Vec<Vec<LayerSample>> = vec![Vec::new(); self.network.len()];
-        for sample in 0..batch {
-            let samples = match config.timing {
-                TimingModel::Analytic => self.run_analytic_sample(config, sample),
-                TimingModel::CycleLevel => self.run_cycle_sample(config, sample),
-            };
-            for (i, s) in samples.into_iter().enumerate() {
-                accum[i].push(s);
-            }
+    /// The shared per-sample evaluation context for `config`.
+    pub fn sample_context<'a>(&'a self, config: &'a InferenceConfig) -> SampleContext<'a> {
+        SampleContext {
+            network: &self.network,
+            profile: &self.profile,
+            cluster: &self.cluster,
+            cost: &self.cost,
+            energy: &self.energy,
+            config,
         }
+    }
 
+    /// Run the network under `config` and return the averaged report.
+    ///
+    /// Batch samples execute in parallel; the built-in backend matching
+    /// `config.timing` evaluates each sample.
+    pub fn run(&self, config: &InferenceConfig) -> InferenceReport {
+        self.run_with_backend(backend::for_timing(config.timing), config)
+    }
+
+    /// Run the network through an explicit [`ExecutionBackend`], fanning
+    /// batch samples out over worker threads.
+    ///
+    /// Samples are independently seeded, so the report is bit-identical to
+    /// [`Engine::run_sequential`] with the same backend and config.
+    pub fn run_with_backend(
+        &self,
+        backend: &dyn ExecutionBackend,
+        config: &InferenceConfig,
+    ) -> InferenceReport {
+        let ctx = self.sample_context(config);
+        let batch = config.batch.max(1);
+        let per_sample: Vec<Vec<LayerSample>> =
+            (0..batch).into_par_iter().map(|sample| backend.run_sample(&ctx, sample)).collect();
+        self.summarize_batch(&per_sample, config, batch)
+    }
+
+    /// Single-threaded reference of [`Engine::run_with_backend`]; exists so
+    /// tests can assert the parallel path is bit-identical.
+    pub fn run_sequential(
+        &self,
+        backend: &dyn ExecutionBackend,
+        config: &InferenceConfig,
+    ) -> InferenceReport {
+        let ctx = self.sample_context(config);
+        let batch = config.batch.max(1);
+        let per_sample: Vec<Vec<LayerSample>> =
+            (0..batch).map(|sample| backend.run_sample(&ctx, sample)).collect();
+        self.summarize_batch(&per_sample, config, batch)
+    }
+
+    /// Average per-sample layer measurements into the final report.
+    fn summarize_batch(
+        &self,
+        per_sample: &[Vec<LayerSample>],
+        config: &InferenceConfig,
+        batch: usize,
+    ) -> InferenceReport {
         let layers = self
             .network
             .layers()
             .iter()
-            .zip(accum.iter())
-            .map(|(layer, samples)| self.summarize(layer.name.clone(), samples, config))
+            .enumerate()
+            .map(|(idx, layer)| {
+                let samples: Vec<LayerSample> =
+                    per_sample.iter().map(|sample| sample[idx]).collect();
+                self.summarize(layer.name.clone(), &samples)
+            })
             .collect();
 
         InferenceReport {
@@ -139,166 +187,11 @@ impl Engine {
         }
     }
 
-    /// Jittered firing rate of layer `idx` for a batch sample.
-    fn sample_rate(&self, idx: usize, seed: u64, sample: usize) -> f64 {
-        let base = self.profile.rate(idx);
-        if idx == 0 {
-            return base;
-        }
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ ((sample as u64) << 20) ^ ((idx as u64) << 4));
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        (base * (1.0 + self.profile.relative_std * gauss)).clamp(0.0, 1.0)
-    }
-
-    fn run_analytic_sample(&self, config: &InferenceConfig, sample: usize) -> Vec<LayerSample> {
-        let model = AnalyticLayerModel::new(self.cluster.clone(), self.cost.clone());
-        let n = self.network.len();
-        let mut out = Vec::with_capacity(n);
-        for (idx, layer) in self.network.layers().iter().enumerate() {
-            let input_rate = self.sample_rate(idx, config.seed, sample);
-            let output_rate = self.sample_rate((idx + 1).min(n - 1), config.seed, sample);
-            let timing = model.layer(
-                &layer.kind,
-                layer.encodes_input,
-                config.variant,
-                config.format,
-                input_rate,
-                output_rate,
-            );
-            out.push(self.sample_from_timing(&layer.kind, idx, input_rate, &timing, config));
-        }
-        out
-    }
-
-    fn sample_from_timing(
-        &self,
-        kind: &LayerKind,
-        idx: usize,
-        input_rate: f64,
-        timing: &LayerTiming,
-        config: &InferenceConfig,
-    ) -> LayerSample {
-        let cores = self.cluster.worker_cores as u64;
-        let activity = Activity {
-            cycles: timing.cycles,
-            int_instrs: timing.int_instrs * cores,
-            flops: timing.flops,
-            dma_bytes: timing.dma_bytes_in + timing.dma_bytes_out,
-            format: config.format,
-        };
-        let energy_j = self.energy.energy_j(&activity);
-        let (csr, aer) = self.analytic_footprints(kind, idx, input_rate);
-        LayerSample {
-            cycles: timing.cycles as f64,
-            fpu_utilization: timing.fpu_utilization,
-            ipc: timing.ipc,
-            input_firing_rate: input_rate,
-            synops: timing.synops as f64,
-            energy_j,
-            csr_footprint_bytes: csr,
-            aer_footprint_bytes: aer,
-        }
-    }
-
-    fn analytic_footprints(&self, kind: &LayerKind, idx: usize, rate: f64) -> (f64, f64) {
-        let rate = if idx == 0 { 1.0 } else { rate };
-        match kind {
-            LayerKind::Conv(spec) => {
-                let padded = spec.padded_input();
-                let spikes = padded.len() as f64 * rate;
-                let csr =
-                    spikes * INDEX_BYTES as f64 + ((padded.h * padded.w + 1) * INDEX_BYTES) as f64;
-                let aer = spikes * AerEvent::BYTES as f64;
-                (csr, aer)
-            }
-            LayerKind::Linear(spec) => {
-                let spikes = spec.in_features as f64 * rate;
-                (spikes * INDEX_BYTES as f64 + 4.0, spikes * AerEvent::BYTES as f64)
-            }
-        }
-    }
-
-    fn run_cycle_sample(&self, config: &InferenceConfig, sample: usize) -> Vec<LayerSample> {
-        let generator = WorkloadGenerator::new(self.profile.clone(), config.seed);
-        let workload = generator.generate(&self.network, sample);
-        let mut out = Vec::with_capacity(self.network.len());
-
-        for (idx, layer) in self.network.layers().iter().enumerate() {
-            let mut cluster = ClusterModel::new(self.cluster.clone(), self.cost.clone());
-            let (stats, synops, rate, csr, aer) = match &layer.kind {
-                LayerKind::Conv(spec) => {
-                    let mut state = LifState::new(spec.conv_output().len());
-                    if layer.encodes_input {
-                        let kernel = DenseEncodingKernel::new(config.variant, config.format);
-                        kernel.run(&mut cluster, layer, &workload.image, &mut state);
-                        let stats = cluster.finish_phase(&layer.name);
-                        let synops = spec.dense_synops() as f64;
-                        let padded = spec.padded_input();
-                        (stats, synops, 1.0, (padded.len() * 4) as f64, (padded.len() * 4) as f64)
-                    } else {
-                        let spikes = workload.spikes_for_layer(idx);
-                        let compressed = CompressedIfmap::from_spike_map(spikes);
-                        let kernel = ConvKernel::new(config.variant, config.format);
-                        kernel.run(&mut cluster, layer, &compressed, &mut state);
-                        let stats = cluster.finish_phase(&layer.name);
-                        let rate = compressed.firing_rate();
-                        let synops = spec.dense_synops() as f64 * rate;
-                        let csr = compressed.footprint_bytes() as f64;
-                        let aer = compressed.spike_count() as f64 * AerEvent::BYTES as f64;
-                        (stats, synops, rate, csr, aer)
-                    }
-                }
-                LayerKind::Linear(spec) => {
-                    let spikes = workload.spikes_for_layer(idx);
-                    let flat: Vec<bool> = spikes.data().to_vec();
-                    let compressed = CompressedFcInput::from_spikes(&flat);
-                    let mut state = LifState::new(spec.out_features);
-                    let kernel = FcKernel::new(config.variant, config.format);
-                    kernel.run(&mut cluster, layer, &compressed, &mut state);
-                    let stats = cluster.finish_phase(&layer.name);
-                    let rate = compressed.spike_count() as f64 / spec.in_features as f64;
-                    let synops = spec.dense_synops() as f64 * rate;
-                    let csr = compressed.footprint_bytes() as f64;
-                    let aer = compressed.spike_count() as f64 * AerEvent::BYTES as f64;
-                    (stats, synops, rate, csr, aer)
-                }
-            };
-
-            let activity = Activity {
-                cycles: stats.compute_cycles.max(1),
-                int_instrs: stats.totals.int_instrs,
-                flops: stats.totals.flops,
-                dma_bytes: stats.dma_bytes_in + stats.dma_bytes_out,
-                format: config.format,
-            };
-            out.push(LayerSample {
-                cycles: stats.compute_cycles.max(1) as f64,
-                fpu_utilization: stats.fpu_utilization,
-                ipc: stats.ipc,
-                input_firing_rate: rate,
-                synops,
-                energy_j: self.energy.energy_j(&activity),
-                csr_footprint_bytes: csr,
-                aer_footprint_bytes: aer,
-            });
-        }
-        out
-    }
-
-    fn summarize(
-        &self,
-        name: String,
-        samples: &[LayerSample],
-        _config: &InferenceConfig,
-    ) -> LayerReport {
+    fn summarize(&self, name: String, samples: &[LayerSample]) -> LayerReport {
         let n = samples.len().max(1) as f64;
         let mean = |f: fn(&LayerSample) -> f64| samples.iter().map(f).sum::<f64>() / n;
         let cycles_mean = mean(|s| s.cycles);
-        let cycles_var =
-            samples.iter().map(|s| (s.cycles - cycles_mean).powi(2)).sum::<f64>() / n;
+        let cycles_var = samples.iter().map(|s| (s.cycles - cycles_mean).powi(2)).sum::<f64>() / n;
         let seconds = cycles_mean / self.cluster.clock_hz;
         let energy = mean(|s| s.energy_j);
         LayerReport {
@@ -309,6 +202,7 @@ impl Engine {
             fpu_utilization: mean(|s| s.fpu_utilization),
             ipc: mean(|s| s.ipc),
             input_firing_rate: mean(|s| s.input_firing_rate),
+            input_spikes: mean(|s| s.input_spikes),
             synops: mean(|s| s.synops),
             energy_j: energy,
             power_w: if seconds > 0.0 { energy / seconds } else { 0.0 },
@@ -318,26 +212,20 @@ impl Engine {
     }
 }
 
-/// Per-sample, per-layer measurement before averaging.
-#[derive(Debug, Clone, Copy)]
-struct LayerSample {
-    cycles: f64,
-    fpu_utilization: f64,
-    ipc: f64,
-    input_firing_rate: f64,
-    synops: f64,
-    energy_j: f64,
-    csr_footprint_bytes: f64,
-    aer_footprint_bytes: f64,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{AnalyticBackend, CycleLevelBackend};
 
     fn analytic(variant: KernelVariant, format: FpFormat) -> InferenceReport {
         let engine = Engine::svgg11(1);
-        engine.run(&InferenceConfig { variant, format, timing: TimingModel::Analytic, batch: 8, seed: 3 })
+        engine.run(&InferenceConfig {
+            variant,
+            format,
+            timing: TimingModel::Analytic,
+            batch: 8,
+            seed: 3,
+        })
     }
 
     #[test]
@@ -376,10 +264,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let engine = Engine::svgg11(9);
+        let config = InferenceConfig {
+            variant: KernelVariant::SpikeStream,
+            format: FpFormat::Fp16,
+            timing: TimingModel::Analytic,
+            batch: 32,
+            seed: 0xBEEF,
+        };
+        let parallel = engine.run(&config);
+        let sequential = engine.run_sequential(&AnalyticBackend, &config);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.to_json(), sequential.to_json());
+    }
+
+    #[test]
+    fn explicit_backend_matches_timing_model_dispatch() {
+        let engine = Engine::svgg11(2);
+        let config = InferenceConfig {
+            variant: KernelVariant::Baseline,
+            format: FpFormat::Fp16,
+            timing: TimingModel::Analytic,
+            batch: 4,
+            seed: 5,
+        };
+        assert_eq!(engine.run(&config), engine.run_with_backend(&AnalyticBackend, &config));
+    }
+
+    #[test]
     fn cycle_level_engine_runs_a_small_network() {
-        use spikestream_snn::{ConvSpec, LinearSpec, NetworkBuilder};
         use spikestream_snn::neuron::LifParams;
         use spikestream_snn::tensor::TensorShape;
+        use spikestream_snn::{ConvSpec, LinearSpec, NetworkBuilder};
 
         let lif = LifParams::new(0.5, 0.3);
         let net = NetworkBuilder::new("tiny")
@@ -427,6 +344,11 @@ mod tests {
         let fast = engine.run(&cfg(KernelVariant::SpikeStream));
         assert_eq!(base.layers.len(), 3);
         assert!(fast.total_cycles() < base.total_cycles());
+
+        // The cycle-level backend is deterministic through the parallel path
+        // as well.
+        let again = engine.run_sequential(&CycleLevelBackend, &cfg(KernelVariant::Baseline));
+        assert_eq!(base, again);
     }
 
     #[test]
@@ -434,9 +356,9 @@ mod tests {
         // On the full S-VGG11 the cycle-level model is too slow for a test,
         // but both models must at least agree that SpikeStream wins and by
         // a broadly similar factor on a small layer-2-like network.
-        use spikestream_snn::{ConvSpec, NetworkBuilder};
         use spikestream_snn::neuron::LifParams;
         use spikestream_snn::tensor::TensorShape;
+        use spikestream_snn::{ConvSpec, NetworkBuilder};
 
         let lif = LifParams::new(0.5, 0.3);
         let mut net = NetworkBuilder::new("layer2-like")

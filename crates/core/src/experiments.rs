@@ -2,8 +2,10 @@
 //!
 //! Each function returns plain data rows so that the benchmark harness, the
 //! `figures` binary and the integration tests can all consume the same
-//! results. The mapping to the paper is documented per function and in
-//! DESIGN.md §4; measured-vs-paper values are recorded in EXPERIMENTS.md.
+//! results. The mapping to the paper is documented per function; how the
+//! experiments flow through the execution-backend layer is described in
+//! ARCHITECTURE.md. Every driver runs through [`Engine::run`], i.e. batch
+//! samples execute in parallel on the analytic backend.
 
 use serde::{Deserialize, Serialize};
 
@@ -268,7 +270,7 @@ pub fn headline(batch: usize) -> HeadlineNumbers {
     }
 }
 
-/// Ablation over the design choices called out in DESIGN.md: the scalar
+/// Ablation over the incremental optimizations of Section III: the scalar
 /// baseline, SpikeStream without shadow-register overlap, SpikeStream as
 /// evaluated, and an idealized stream unit (one element per cycle, no
 /// startup latency) that bounds the remaining headroom.
@@ -292,17 +294,24 @@ pub fn ablation(batch: usize) -> Vec<AblationRow> {
     no_shadow.ssr_config_write += 2;
     let engine_ns = Engine::svgg11(42).with_cost_model(no_shadow);
     let (cycles, util) = run(&engine_ns, KernelVariant::SpikeStream, FpFormat::Fp16);
-    rows.push(AblationRow { name: "SpikeStream w/o shadow regs".into(), cycles, utilization: util });
+    rows.push(AblationRow {
+        name: "SpikeStream w/o shadow regs".into(),
+        cycles,
+        utilization: util,
+    });
 
     let (cycles, util) = run(&engine, KernelVariant::SpikeStream, FpFormat::Fp16);
     rows.push(AblationRow { name: "SpikeStream (SA)".into(), cycles, utilization: util });
 
-    let mut ideal = CostModel::default();
-    ideal.indirect_stream_interval = 1.0;
-    ideal.stream_startup = 0;
+    let ideal =
+        CostModel { indirect_stream_interval: 1.0, stream_startup: 0, ..CostModel::default() };
     let engine_ideal = Engine::svgg11(42).with_cost_model(ideal);
     let (cycles, util) = run(&engine_ideal, KernelVariant::SpikeStream, FpFormat::Fp16);
-    rows.push(AblationRow { name: "SpikeStream (ideal streams)".into(), cycles, utilization: util });
+    rows.push(AblationRow {
+        name: "SpikeStream (ideal streams)".into(),
+        cycles,
+        utilization: util,
+    });
 
     rows
 }

@@ -19,7 +19,10 @@
 //! * [`Engine`] runs a network under an [`InferenceConfig`] (code variant,
 //!   floating-point format, timing model, batch size) and produces an
 //!   [`InferenceReport`] with per-layer runtime, utilization, IPC, power
-//!   and energy;
+//!   and energy — fanning batch samples out over worker threads;
+//! * [`backend`] is the pluggable execution layer: the analytic and
+//!   cycle-level timing models are [`ExecutionBackend`] implementations,
+//!   and custom backends run through [`Engine::run_with_backend`];
 //! * [`experiments`] regenerates every figure of the paper's evaluation.
 //!
 //! # Quickstart
@@ -46,10 +49,14 @@
 //! assert!(streamed.total_cycles() < baseline.total_cycles());
 //! ```
 
+pub mod backend;
 pub mod engine;
 pub mod experiments;
 pub mod report;
 
+pub use backend::{
+    AnalyticBackend, CycleLevelBackend, ExecutionBackend, LayerSample, SampleContext,
+};
 pub use engine::{Engine, InferenceConfig, TimingModel};
 pub use report::{InferenceReport, LayerReport};
 

@@ -22,6 +22,8 @@ pub struct LayerReport {
     pub ipc: f64,
     /// Mean firing rate of the layer's input.
     pub input_firing_rate: f64,
+    /// Mean input spike count (dense pixels for the encoding layer).
+    pub input_spikes: f64,
     /// Mean synaptic operations executed.
     pub synops: f64,
     /// Mean energy in joules.
@@ -98,6 +100,89 @@ impl InferenceReport {
     pub fn layer(&self, name: &str) -> Option<&LayerReport> {
         self.layers.iter().find(|l| l.name == name)
     }
+
+    /// Deterministic JSON rendering of the report.
+    ///
+    /// Field order is fixed and floats use Rust's shortest round-trip
+    /// formatting, so two equal reports always produce byte-identical JSON
+    /// — the property the engine's parallel-vs-sequential tests assert.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.layers.len() * 384);
+        out.push_str("{\"network\":");
+        json_string(&mut out, &self.network);
+        out.push_str(",\"variant\":");
+        json_string(&mut out, &self.variant.to_string());
+        out.push_str(",\"format\":");
+        json_string(&mut out, &self.format.to_string());
+        out.push_str(&format!(",\"batch\":{}", self.batch));
+        out.push_str(",\"layers\":[");
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            layer.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl LayerReport {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        json_string(out, &self.name);
+        let fields: [(&str, f64); 12] = [
+            ("cycles", self.cycles),
+            ("cycles_std", self.cycles_std),
+            ("seconds", self.seconds),
+            ("fpu_utilization", self.fpu_utilization),
+            ("ipc", self.ipc),
+            ("input_firing_rate", self.input_firing_rate),
+            ("input_spikes", self.input_spikes),
+            ("synops", self.synops),
+            ("energy_j", self.energy_j),
+            ("power_w", self.power_w),
+            ("csr_footprint_bytes", self.csr_footprint_bytes),
+            ("aer_footprint_bytes", self.aer_footprint_bytes),
+        ];
+        for (name, value) in fields {
+            out.push_str(&format!(",\"{name}\":"));
+            json_f64(out, value);
+        }
+        out.push('}');
+    }
+}
+
+/// Append a JSON string literal with the escapes JSON requires.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite `f64` as JSON (non-finite values become `null`).
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let formatted = format!("{v}");
+        out.push_str(&formatted);
+        // `{}` omits the decimal point for integral floats; keep every value
+        // unambiguously a float so the JSON round-trips type-stably.
+        if !formatted.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +198,7 @@ mod tests {
             fpu_utilization: util,
             ipc: 1.0,
             input_firing_rate: 0.2,
+            input_spikes: 500.0,
             synops: 1000.0,
             energy_j: energy,
             power_w: energy / (cycles / 1e9),
@@ -152,5 +238,31 @@ mod tests {
         let r = report(1.0, 1.0);
         assert!(r.layer("a").is_some());
         assert!(r.layer("zzz").is_none());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let r = report(1000.0, 1e-6);
+        let json = r.to_json();
+        assert_eq!(json, r.clone().to_json());
+        assert!(json.starts_with("{\"network\":\"test\""));
+        assert!(json.contains("\"variant\":\"Baseline\""));
+        assert!(json.contains("\"batch\":1"));
+        assert!(json.contains("\"cycles\":1000.0"));
+        assert!(json.contains("\"input_spikes\":500.0"));
+        assert_eq!(json.matches("{\"name\":").count(), 2);
+        // Balanced braces/brackets (flat sanity check, no parser available).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings_and_integral_floats() {
+        let mut r = report(2.0, 1.0);
+        r.network = "a\"b\\c\nd".into();
+        let json = r.to_json();
+        assert!(json.contains("\"network\":\"a\\\"b\\\\c\\nd\""));
+        // 2.0 formats as "2" via `{}`; the serializer restores the ".0".
+        assert!(json.contains("\"cycles\":2.0"));
     }
 }

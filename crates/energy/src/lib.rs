@@ -82,8 +82,7 @@ impl EnergyModel {
 
     /// Total energy of an activity record, in joules.
     pub fn energy_j(&self, activity: &Activity) -> f64 {
-        let static_e =
-            activity.cycles as f64 * self.cores as f64 * self.static_pj_per_core_cycle;
+        let static_e = activity.cycles as f64 * self.cores as f64 * self.static_pj_per_core_cycle;
         let int_e = activity.int_instrs as f64 * self.int_instr_pj;
         let fp_e = activity.flops as f64 * self.flop_pj(activity.format);
         let dma_e = activity.dma_bytes as f64 * self.dma_byte_pj;
@@ -169,13 +168,8 @@ mod tests {
     #[test]
     fn zero_cycle_activity_has_zero_power() {
         let m = EnergyModel::calibrated();
-        let a = Activity {
-            cycles: 0,
-            int_instrs: 0,
-            flops: 0,
-            dma_bytes: 0,
-            format: FpFormat::Fp16,
-        };
+        let a =
+            Activity { cycles: 0, int_instrs: 0, flops: 0, dma_bytes: 0, format: FpFormat::Fp16 };
         assert_eq!(m.power_w(&a, 1.0e9), 0.0);
         assert_eq!(m.energy_j(&a), 0.0);
     }

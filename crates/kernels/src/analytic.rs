@@ -282,8 +282,7 @@ impl AnalyticLayerModel {
 
         let (group_int, group_fpu_occupancy) = match variant {
             KernelVariant::Baseline => {
-                let spva_elem =
-                    (c.int_load + 3 * c.int_alu + c.branch_taken) as f64 + 2.0 + 1.0;
+                let spva_elem = (c.int_load + 3 * c.int_alu + c.branch_taken) as f64 + 2.0 + 1.0;
                 (3.0 + s_len * spva_elem + act_int, 0.0)
             }
             KernelVariant::SpikeStream => {
@@ -403,11 +402,7 @@ mod tests {
             0.24,
             0.17,
         );
-        assert!(
-            t.fpu_utilization > 0.06 && t.fpu_utilization < 0.14,
-            "got {}",
-            t.fpu_utilization
-        );
+        assert!(t.fpu_utilization > 0.06 && t.fpu_utilization < 0.14, "got {}", t.fpu_utilization);
     }
 
     #[test]

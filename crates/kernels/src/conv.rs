@@ -146,7 +146,16 @@ impl ConvKernel {
 
                 for g in 0..groups {
                     self.run_group(
-                        cluster, core, layer, spec, input, &rf_active, oh, ow, g, lanes,
+                        cluster,
+                        core,
+                        layer,
+                        spec,
+                        input,
+                        &rf_active,
+                        oh,
+                        ow,
+                        g,
+                        lanes,
                         GroupAddresses {
                             weights_base: &weight_group_base,
                             idcs_base,
@@ -204,9 +213,8 @@ impl ConvKernel {
         core_model.exec(&TraceOp::alu());
         core_model.exec(&TraceOp::alu());
 
-        for k in 0..spec.kh * spec.kw {
+        for (k, &active) in rf_active.iter().enumerate() {
             let (kh, kw) = (k / spec.kw, k % spec.kw);
-            let active = rf_active[k];
             let s_len = active.len();
 
             // Outer-loop control of Listing 1a: row-pointer bookkeeping,
@@ -261,8 +269,7 @@ impl ConvKernel {
                     core_model.exec_repeated(&block, s_len as u64);
                 }
                 KernelVariant::SpikeStream => {
-                    let index_base =
-                        addrs.idcs_base + input.s_ptr()[coo] * INDEX_BYTES as u32;
+                    let index_base = addrs.idcs_base + input.s_ptr()[coo] * INDEX_BYTES as u32;
                     core_model.exec(&TraceOp::SsrConfig {
                         ssr: SsrId::Ssr0,
                         pattern: StreamPattern::Indirect {
@@ -330,12 +337,12 @@ struct GroupAddresses<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use snitch_arch::{ClusterConfig, CostModel};
     use spikestream_snn::neuron::LifParams;
     use spikestream_snn::tensor::TensorShape;
     use spikestream_snn::{Layer, ReferenceEngine};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn test_layer(in_c: usize, out_c: usize, hw: usize, pool: bool) -> (Layer, ConvSpec) {
         let spec = ConvSpec {

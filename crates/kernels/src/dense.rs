@@ -128,9 +128,9 @@ impl DenseEncodingKernel {
                                     if co >= spec.out_channels {
                                         break;
                                     }
-                                    let w = self.format.quantize(
-                                        layer.weights[spec.weight_index(kh, kw, ci, co)],
-                                    );
+                                    let w = self
+                                        .format
+                                        .quantize(layer.weights[spec.weight_index(kh, kw, ci, co)]);
                                     let v = currents.get(oh, ow, co) + self.format.quantize(x) * w;
                                     currents.set(oh, ow, co, v);
                                 }

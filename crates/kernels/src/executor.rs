@@ -1,0 +1,248 @@
+//! Uniform per-layer kernel dispatch.
+//!
+//! [`LayerExecutor`] is the single entry point execution backends use to
+//! run one network layer on the cycle-level cluster model. It owns the
+//! mapping from layer kind and input representation to the concrete kernel
+//! — [`DenseEncodingKernel`](crate::DenseEncodingKernel) for the dense
+//! spike-encoding first layer, [`ConvKernel`](crate::ConvKernel) for
+//! spike-consuming convolutions, [`FcKernel`](crate::FcKernel) for fully
+//! connected layers — together with the input compression each kernel
+//! expects. Callers hand it a [`LayerInput`] and read the structural
+//! measurements back from the returned [`LayerExecution`]; timing is
+//! accumulated in the [`ClusterModel`] as usual and collected by the caller
+//! with [`ClusterModel::finish_phase`].
+
+use snitch_arch::fp::FpFormat;
+use snitch_sim::ClusterModel;
+use spikestream_snn::{
+    AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, LifState, SpikeMap, Tensor3,
+};
+
+use crate::{ConvKernel, DenseEncodingKernel, FcKernel, KernelVariant};
+
+/// The input of one layer invocation.
+#[derive(Debug, Clone, Copy)]
+pub enum LayerInput<'a> {
+    /// Dense, padded image consumed by the spike-encoding first layer.
+    Image(&'a Tensor3),
+    /// Input spike map of a spike-consuming layer (padded for conv layers,
+    /// flattened `1 x 1 x F` for fully connected layers).
+    Spikes(&'a SpikeMap),
+}
+
+/// Structural measurements of one layer invocation: what the layer consumed
+/// and produced, independent of the timing accumulated in the cluster model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerExecution {
+    /// Firing rate of the layer's input (1.0 for the dense encoding layer).
+    pub input_rate: f64,
+    /// Number of input spikes (dense pixels for the encoding layer).
+    pub input_spikes: u64,
+    /// Synaptic operations executed.
+    pub synops: f64,
+    /// Compressed (CSR-derived) input footprint in bytes.
+    pub csr_footprint_bytes: f64,
+    /// AER input footprint in bytes.
+    pub aer_footprint_bytes: f64,
+    /// Output spikes of the layer (after pooling for conv layers).
+    pub output_spikes: u64,
+}
+
+/// Kernel dispatch bound to a code variant and storage format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerExecutor {
+    variant: KernelVariant,
+    format: FpFormat,
+}
+
+impl LayerExecutor {
+    /// Create an executor for the given variant and floating-point format.
+    pub fn new(variant: KernelVariant, format: FpFormat) -> Self {
+        LayerExecutor { variant, format }
+    }
+
+    /// The code variant the dispatched kernels emit.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The storage format of weights and activations.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// Run one layer on the cluster, dispatching to the matching kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input representation does not fit the layer (a dense
+    /// image on a fully connected layer, a spike map whose shape does not
+    /// match the layer input) — the same contract as the underlying kernels.
+    pub fn run(
+        &self,
+        cluster: &mut ClusterModel,
+        layer: &Layer,
+        input: LayerInput<'_>,
+    ) -> LayerExecution {
+        match (&layer.kind, input) {
+            (LayerKind::Conv(spec), LayerInput::Image(image)) => {
+                let mut state = LifState::new(spec.conv_output().len());
+                let kernel = DenseEncodingKernel::new(self.variant, self.format);
+                let out = kernel.run(cluster, layer, image, &mut state);
+                let padded = spec.padded_input();
+                LayerExecution {
+                    input_rate: 1.0,
+                    input_spikes: padded.len() as u64,
+                    synops: spec.dense_synops() as f64,
+                    csr_footprint_bytes: (padded.len() * 4) as f64,
+                    aer_footprint_bytes: (padded.len() * 4) as f64,
+                    output_spikes: out.output.count_spikes() as u64,
+                }
+            }
+            (LayerKind::Conv(spec), LayerInput::Spikes(spikes)) => {
+                let compressed = CompressedIfmap::from_spike_map(spikes);
+                let mut state = LifState::new(spec.conv_output().len());
+                let kernel = ConvKernel::new(self.variant, self.format);
+                let out = kernel.run(cluster, layer, &compressed, &mut state);
+                let rate = compressed.firing_rate();
+                LayerExecution {
+                    input_rate: rate,
+                    input_spikes: compressed.spike_count() as u64,
+                    synops: spec.dense_synops() as f64 * rate,
+                    csr_footprint_bytes: compressed.footprint_bytes() as f64,
+                    aer_footprint_bytes: (compressed.spike_count() * AerEvent::BYTES) as f64,
+                    output_spikes: out.output.count_spikes() as u64,
+                }
+            }
+            (LayerKind::Linear(spec), LayerInput::Spikes(spikes)) => {
+                let flat: Vec<bool> = spikes.data().to_vec();
+                let compressed = CompressedFcInput::from_spikes(&flat);
+                let mut state = LifState::new(spec.out_features);
+                let kernel = FcKernel::new(self.variant, self.format);
+                let out = kernel.run(cluster, layer, &compressed, &mut state);
+                LayerExecution {
+                    input_rate: compressed.spike_count() as f64 / spec.in_features as f64,
+                    input_spikes: compressed.spike_count() as u64,
+                    synops: spec.dense_synops() as f64 * compressed.spike_count() as f64
+                        / spec.in_features as f64,
+                    csr_footprint_bytes: compressed.footprint_bytes() as f64,
+                    aer_footprint_bytes: (compressed.spike_count() * AerEvent::BYTES) as f64,
+                    output_spikes: out.spikes.iter().filter(|&&s| s).count() as u64,
+                }
+            }
+            (LayerKind::Linear(_), LayerInput::Image(_)) => {
+                panic!("fully connected layers consume spikes, not dense images")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use snitch_arch::{ClusterConfig, CostModel};
+    use spikestream_snn::neuron::LifParams;
+    use spikestream_snn::tensor::TensorShape;
+    use spikestream_snn::ConvSpec;
+
+    fn cluster() -> ClusterModel {
+        ClusterModel::new(ClusterConfig::default(), CostModel::default())
+    }
+
+    fn conv_layer(pool: bool) -> (Layer, ConvSpec) {
+        let spec = ConvSpec {
+            input: TensorShape::new(6, 6, 8),
+            out_channels: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            pool,
+        };
+        let mut layer = Layer::new("conv", LayerKind::Conv(spec), LifParams::new(0.5, 0.25));
+        let mut rng = StdRng::seed_from_u64(3);
+        layer.randomize_weights(&mut rng, 0.1);
+        (layer, spec)
+    }
+
+    fn random_spikes(shape: TensorShape, rate: f64, seed: u64) -> SpikeMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map = SpikeMap::silent(shape);
+        for h in 1..shape.h - 1 {
+            for w in 1..shape.w - 1 {
+                for c in 0..shape.c {
+                    if rng.gen_bool(rate) {
+                        map.set(h, w, c, true);
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    #[test]
+    fn conv_dispatch_reports_the_compressed_input() {
+        let (layer, spec) = conv_layer(false);
+        let spikes = random_spikes(spec.padded_input(), 0.3, 11);
+        let compressed = CompressedIfmap::from_spike_map(&spikes);
+        let mut cl = cluster();
+        let exec = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16).run(
+            &mut cl,
+            &layer,
+            LayerInput::Spikes(&spikes),
+        );
+        assert_eq!(exec.input_spikes, compressed.spike_count() as u64);
+        assert_eq!(exec.input_rate, compressed.firing_rate());
+        assert_eq!(exec.csr_footprint_bytes, compressed.footprint_bytes() as f64);
+        assert!(exec.synops > 0.0);
+        assert!(cl.finish_phase("conv").cycles > 0);
+    }
+
+    #[test]
+    fn executors_match_direct_kernel_invocations() {
+        let (layer, spec) = conv_layer(true);
+        let spikes = random_spikes(spec.padded_input(), 0.25, 7);
+
+        let mut direct_cluster = cluster();
+        let compressed = CompressedIfmap::from_spike_map(&spikes);
+        let mut state = LifState::new(spec.conv_output().len());
+        let direct_out = ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16).run(
+            &mut direct_cluster,
+            &layer,
+            &compressed,
+            &mut state,
+        );
+        let direct_stats = direct_cluster.finish_phase("conv");
+
+        let mut exec_cluster = cluster();
+        let exec = LayerExecutor::new(KernelVariant::Baseline, FpFormat::Fp16).run(
+            &mut exec_cluster,
+            &layer,
+            LayerInput::Spikes(&spikes),
+        );
+        let exec_stats = exec_cluster.finish_phase("conv");
+
+        assert_eq!(exec.output_spikes, direct_out.output.count_spikes() as u64);
+        assert_eq!(exec_stats.cycles, direct_stats.cycles);
+        assert_eq!(exec_stats.totals.int_instrs, direct_stats.totals.int_instrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "consume spikes")]
+    fn dense_input_on_a_linear_layer_is_rejected() {
+        use spikestream_snn::LinearSpec;
+        let layer = Layer::new(
+            "fc",
+            LayerKind::Linear(LinearSpec { in_features: 16, out_features: 4 }),
+            LifParams::new(0.5, 0.25),
+        );
+        let image = Tensor3::zeros(TensorShape::new(4, 4, 1));
+        LayerExecutor::new(KernelVariant::Baseline, FpFormat::Fp16).run(
+            &mut cluster(),
+            &layer,
+            LayerInput::Image(&image),
+        );
+    }
+}

@@ -107,9 +107,7 @@ impl FcKernel {
                     if o >= spec.out_features {
                         break;
                     }
-                    let w = self
-                        .format
-                        .quantize(layer.weights[spec.weight_index(i as usize, o)]);
+                    let w = self.format.quantize(layer.weights[spec.weight_index(i as usize, o)]);
                     currents[o] += w;
                 }
             }
@@ -296,7 +294,7 @@ mod tests {
     #[test]
     fn empty_input_is_handled() {
         let (layer, spec) = test_layer(128, 16);
-        let input = CompressedFcInput::from_spikes(&vec![false; 128]);
+        let input = CompressedFcInput::from_spikes(&[false; 128]);
         let mut cl = cluster();
         let mut state = LifState::new(spec.out_features);
         let out = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp8)
@@ -309,7 +307,7 @@ mod tests {
     #[should_panic(expected = "input width mismatch")]
     fn wrong_input_width_panics() {
         let (layer, spec) = test_layer(64, 8);
-        let input = CompressedFcInput::from_spikes(&vec![false; 32]);
+        let input = CompressedFcInput::from_spikes(&[false; 32]);
         let mut cl = cluster();
         let mut state = LifState::new(spec.out_features);
         FcKernel::new(KernelVariant::Baseline, FpFormat::Fp16)

@@ -19,10 +19,15 @@
 //! For full-network, full-batch reproduction runs the crate also provides
 //! an [`analytic`] layer-timing model derived from the same architectural
 //! constants, cross-checked against the cycle-level kernels in the tests.
+//!
+//! Execution backends drive the cycle-level kernels through the uniform
+//! [`executor::LayerExecutor`] entry point rather than invoking
+//! [`ConvKernel`], [`FcKernel`] and [`DenseEncodingKernel`] directly.
 
 pub mod analytic;
 pub mod conv;
 pub mod dense;
+pub mod executor;
 pub mod fc;
 pub mod schedule;
 pub mod tiling;
@@ -30,6 +35,7 @@ pub mod tiling;
 pub use analytic::{AnalyticLayerModel, LayerTiming};
 pub use conv::{ConvKernel, ConvKernelOutput};
 pub use dense::DenseEncodingKernel;
+pub use executor::{LayerExecution, LayerExecutor, LayerInput};
 pub use fc::FcKernel;
 pub use schedule::WorkStealingScheduler;
 pub use tiling::{LayerTilePlan, TilingPlanner};

@@ -31,7 +31,9 @@ impl WorkStealingScheduler {
     /// the atomic `next_rf` bump to that core.
     pub fn claim(&mut self, cluster: &mut ClusterModel) -> usize {
         let core = (0..cluster.worker_cores())
-            .min_by_key(|&i| cluster.cores()[i].counters().total_cycles().max(cluster.cores()[i].int_time()))
+            .min_by_key(|&i| {
+                cluster.cores()[i].counters().total_cycles().max(cluster.cores()[i].int_time())
+            })
             .expect("cluster has at least one core");
         // Atomic tag of the RF plus the bookkeeping branch of the stealing loop.
         cluster.core_mut(core).exec(&TraceOp::Int { op: IntOp::Amo, addr: Some(0) });

@@ -90,6 +90,7 @@ impl TilingPlanner {
         let sptr_bytes = input.s_ptr().len() * INDEX_BYTES;
         let out = spec.conv_output();
         let state_bytes = out.len() * 4; // membrane potentials kept in FP32
+
         // Worst-case (zero-sparsity) compressed ofmap allocation.
         let ofmap_bytes = out.len() * INDEX_BYTES + (out.h * out.w + 1) * INDEX_BYTES;
         self.plan(weight_bytes, idcs_bytes, sptr_bytes, state_bytes, ofmap_bytes, out.h)
@@ -146,22 +147,20 @@ impl TilingPlanner {
         }
         // The compressed ifmap tile fits a single DMA request thanks to the
         // aggregated spatial pointers (Section III-D).
-        dma_in.push(DmaRequest::contiguous(
-            DmaDirection::In,
-            (idcs_bytes + sptr_bytes) as u64,
-        ));
+        dma_in.push(DmaRequest::contiguous(DmaDirection::In, (idcs_bytes + sptr_bytes) as u64));
         dma_in.push(DmaRequest::contiguous(DmaDirection::In, state_bytes as u64));
 
         // The ofmap c_idcs fragments are copied out row by row because of
         // the worst-case allocation; the s_ptr elements are joined by the
         // DMA core before the final copy.
-        let mut dma_out = Vec::new();
-        dma_out.push(DmaRequest::strided_2d(
-            DmaDirection::Out,
-            (ofmap_bytes / out_rows.max(1)) as u64,
-            out_rows as u64,
-        ));
-        dma_out.push(DmaRequest::contiguous(DmaDirection::Out, state_bytes as u64));
+        let dma_out = vec![
+            DmaRequest::strided_2d(
+                DmaDirection::Out,
+                (ofmap_bytes / out_rows.max(1)) as u64,
+                out_rows as u64,
+            ),
+            DmaRequest::contiguous(DmaDirection::Out, state_bytes as u64),
+        ];
 
         LayerTilePlan {
             weights,

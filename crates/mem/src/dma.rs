@@ -107,7 +107,9 @@ impl DmaEngine {
         }
         let beats = payload.div_ceil(self.beat_bytes);
         let bw_limit = (payload as f64 / self.mem_bytes_per_cycle).ceil() as u64;
-        self.setup_cycles + beats.max(bw_limit) + request.rows.saturating_sub(1) * request.row_stride_overhead
+        self.setup_cycles
+            + beats.max(bw_limit)
+            + request.rows.saturating_sub(1) * request.row_stride_overhead
     }
 
     /// Issue a transfer at `now`; returns the completed transfer record.

@@ -20,10 +20,7 @@ pub struct BankConflictModel {
 impl BankConflictModel {
     /// Create a conflict model for the given cluster configuration.
     pub fn new(config: &ClusterConfig) -> Self {
-        BankConflictModel {
-            banks: config.spm_banks,
-            bank_width_bytes: config.spm_bank_width_bytes,
-        }
+        BankConflictModel { banks: config.spm_banks, bank_width_bytes: config.spm_bank_width_bytes }
     }
 
     /// Number of banks.

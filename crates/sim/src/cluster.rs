@@ -250,8 +250,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid cluster configuration")]
     fn invalid_config_panics() {
-        let mut cfg = ClusterConfig::default();
-        cfg.spm_banks = 33;
+        let cfg = ClusterConfig { spm_banks: 33, ..ClusterConfig::default() };
         let _ = ClusterModel::new(cfg, CostModel::default());
     }
 }

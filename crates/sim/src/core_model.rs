@@ -316,8 +316,7 @@ impl WorkerCoreModel {
         };
         let startup = if uses_stream { self.cost.stream_startup } else { 0 };
         let start = self.int_time.max(self.fpu_time).max(stream_ready);
-        let busy_end =
-            start + self.cost.fpu_latency + startup + total_occupancy + conflict_stalls;
+        let busy_end = start + self.cost.fpu_latency + startup + total_occupancy + conflict_stalls;
 
         self.fpu_time = busy_end;
         self.counters.fpu_busy_cycles += total_issue;
@@ -363,17 +362,15 @@ impl WorkerCoreModel {
                 // land in the same bank the data mover loses a cycle.
                 accesses_per_element = 2.0;
                 let gathers = pattern.data_addresses();
-                let index_addrs: Vec<u32> = (0..gathers.len() as u32)
-                    .map(|i| index_base + i * index_bytes)
-                    .collect();
+                let index_addrs: Vec<u32> =
+                    (0..gathers.len() as u32).map(|i| index_base + i * index_bytes).collect();
                 own_conflicts = self.banks.conflict_cycles_pairwise(&index_addrs, &gathers);
             }
         }
         // Cross-core interference, accumulated fractionally so short streams
         // are not over-penalized.
-        let expected =
-            elements as f64 * accesses_per_element * self.cross_conflict_per_access
-                + self.conflict_carry;
+        let expected = elements as f64 * accesses_per_element * self.cross_conflict_per_access
+            + self.conflict_carry;
         let cross = expected.floor() as u64;
         self.conflict_carry = expected - cross as f64;
         (self.int_time, own_conflicts + cross, elements)

@@ -111,9 +111,7 @@ impl PerfCounters {
             StallCause::IcacheMiss => self.stall_icache,
             StallCause::SsrDrain => self.stall_ssr_drain,
             StallCause::SequencerFull => self.stall_sequencer_full,
-            StallCause::FpuStarved => {
-                self.total_cycles().saturating_sub(self.fpu_busy_cycles)
-            }
+            StallCause::FpuStarved => self.total_cycles().saturating_sub(self.fpu_busy_cycles),
         }
     }
 

@@ -98,7 +98,7 @@ impl CompressedIfmap {
 
     /// Firing rate of the represented map.
     pub fn firing_rate(&self) -> f64 {
-        if self.shape.len() == 0 {
+        if self.shape.is_empty() {
             0.0
         } else {
             self.spike_count() as f64 / self.shape.len() as f64
@@ -127,11 +127,7 @@ impl CompressedFcInput {
     /// Panics if `spikes.len()` exceeds `u16::MAX + 1` addressable inputs.
     pub fn from_spikes(spikes: &[bool]) -> Self {
         assert!(spikes.len() <= u16::MAX as usize + 1, "FC input too large for 16-bit indices");
-        let idcs = spikes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &s)| s.then_some(i as u16))
-            .collect();
+        let idcs = spikes.iter().enumerate().filter_map(|(i, &s)| s.then_some(i as u16)).collect();
         CompressedFcInput { in_features: spikes.len(), idcs }
     }
 

@@ -82,7 +82,7 @@ impl Network {
     /// 18x18x256, 10x10x256, 10x10x512, followed by two fully connected
     /// layers. Weights are randomly initialized with the given `seed`
     /// (the evaluation metrics depend on shapes and firing statistics,
-    /// not on trained weights; see DESIGN.md).
+    /// not on trained weights).
     pub fn svgg11(seed: u64) -> Network {
         let lif = LifParams::new(0.5, 1.0);
         let conv = |input: TensorShape, out_channels: usize, pool: bool| ConvSpec {

@@ -109,12 +109,7 @@ impl LifState {
     }
 
     /// Advance one neuron (used by the per-neuron fused kernels).
-    pub fn step_single(
-        &mut self,
-        params: &LifParams,
-        neuron: usize,
-        current: f32,
-    ) -> bool {
+    pub fn step_single(&mut self, params: &LifParams, neuron: usize, current: f32) -> bool {
         let v = &mut self.membrane[neuron];
         *v = *v * params.alpha + params.resistance * current;
         let fired = *v >= params.v_threshold;
@@ -160,8 +155,7 @@ mod tests {
         let mut b = LifState::new(3);
         let currents = [0.3, 1.5, 0.9];
         let spikes_a = a.step(&params, &currents);
-        let spikes_b: Vec<bool> =
-            (0..3).map(|n| b.step_single(&params, n, currents[n])).collect();
+        let spikes_b: Vec<bool> = (0..3).map(|n| b.step_single(&params, n, currents[n])).collect();
         assert_eq!(spikes_a, spikes_b);
         assert_eq!(a.membrane(), b.membrane());
     }

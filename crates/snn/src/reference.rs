@@ -57,12 +57,7 @@ impl ReferenceEngine {
 
     /// Input currents of the dense spike-encoding first layer (the image
     /// values act as input currents; the convolution is a real matmul).
-    pub fn conv_currents_dense(
-        &self,
-        layer: &Layer,
-        spec: &ConvSpec,
-        image: &Tensor3,
-    ) -> Tensor3 {
+    pub fn conv_currents_dense(&self, layer: &Layer, spec: &ConvSpec, image: &Tensor3) -> Tensor3 {
         assert_eq!(image.shape(), spec.padded_input(), "image must be padded");
         let out_shape = spec.conv_output();
         let mut currents = Tensor3::zeros(out_shape);
@@ -121,12 +116,7 @@ impl ReferenceEngine {
     }
 
     /// One full convolutional layer step: currents, activation, pooling.
-    pub fn conv_forward(
-        &self,
-        layer: &Layer,
-        input: &SpikeMap,
-        state: &mut LifState,
-    ) -> SpikeMap {
+    pub fn conv_forward(&self, layer: &Layer, input: &SpikeMap, state: &mut LifState) -> SpikeMap {
         let LayerKind::Conv(spec) = &layer.kind else {
             panic!("conv_forward called on a non-convolutional layer");
         };
@@ -140,12 +130,7 @@ impl ReferenceEngine {
     }
 
     /// One full fully connected layer step.
-    pub fn linear_forward(
-        &self,
-        layer: &Layer,
-        input: &[bool],
-        state: &mut LifState,
-    ) -> Vec<bool> {
+    pub fn linear_forward(&self, layer: &Layer, input: &[bool], state: &mut LifState) -> Vec<bool> {
         let LayerKind::Linear(spec) = &layer.kind else {
             panic!("linear_forward called on a non-linear layer");
         };

@@ -6,7 +6,7 @@
 //! stream lengths, FPU utilization, runtime, energy — depend on the layer
 //! shapes and on those firing statistics rather than on classification
 //! accuracy, the reproduction generates spike maps directly from a
-//! per-layer firing profile (see the substitution table in DESIGN.md).
+//! per-layer firing profile.
 //!
 //! Dynamic sparsity across the batch is modelled by drawing each sample's
 //! firing rate from a normal distribution around the profile value, which
@@ -16,10 +16,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::encoding::synthetic_image;
 use crate::layer::LayerKind;
 use crate::model::Network;
 use crate::tensor::{SpikeMap, Tensor3, TensorShape};
-use crate::encoding::synthetic_image;
 
 /// Per-layer input firing rates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -150,9 +150,16 @@ fn sample_gauss<R: Rng>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// Sample a spike map of the given shape at the target firing rate. For
-/// convolutional inputs the padded border stays silent (padding carries no
-/// spikes), so the target rate applies to the interior.
+/// Sample a spike map of the given shape realizing the target firing rate
+/// exactly: `round(rate * eligible_positions)` spikes at uniformly random
+/// positions. For convolutional inputs the padded border stays silent
+/// (padding carries no spikes), so the rate applies to the interior.
+///
+/// Fixed-count sampling (rather than an independent Bernoulli draw per
+/// position) keeps the realized spike count equal to the expectation the
+/// analytic backend computes from the same rate — dynamic sparsity across
+/// the batch comes from the per-sample rate jitter, not from sampling
+/// noise.
 fn random_spike_map<R: Rng>(
     shape: TensorShape,
     rate: f64,
@@ -164,21 +171,30 @@ fn random_spike_map<R: Rng>(
         LayerKind::Conv(c) => c.padding,
         LayerKind::Linear(_) => 0,
     };
-    for h in 0..shape.h {
-        for w in 0..shape.w {
-            let in_border = h < padding
-                || w < padding
-                || h >= shape.h - padding
-                || w >= shape.w - padding;
-            if in_border && shape.h > 2 * padding {
-                continue;
-            }
-            for c in 0..shape.c {
-                if rng.gen_bool(rate) {
-                    map.set(h, w, c, true);
-                }
-            }
-        }
+    let silent_border = shape.h > 2 * padding;
+    let positions: Vec<(usize, usize)> = (0..shape.h)
+        .flat_map(|h| (0..shape.w).map(move |w| (h, w)))
+        .filter(|&(h, w)| {
+            let in_border =
+                h < padding || w < padding || h >= shape.h - padding || w >= shape.w - padding;
+            !(in_border && silent_border)
+        })
+        .collect();
+    let n = positions.len() * shape.c;
+    if n == 0 {
+        return map;
+    }
+    let target = ((n as f64 * rate).round() as usize).min(n);
+
+    // Partial Fisher-Yates over the flattened eligible (position, channel)
+    // slots: the first `target` entries are a uniform sample without
+    // replacement.
+    let mut slots: Vec<usize> = (0..n).collect();
+    for i in 0..target {
+        let j = rng.gen_range(i..n);
+        slots.swap(i, j);
+        let (h, w) = positions[slots[i] / shape.c];
+        map.set(h, w, slots[i] % shape.c, true);
     }
     map
 }
@@ -210,8 +226,7 @@ mod tests {
         for (i, spikes) in w.layer_inputs.iter().enumerate().take(5) {
             let measured = spikes.firing_rate();
             let shape = spikes.shape();
-            let interior =
-                ((shape.h - 2) * (shape.w - 2)) as f64 / (shape.h * shape.w) as f64;
+            let interior = ((shape.h - 2) * (shape.w - 2)) as f64 / (shape.h * shape.w) as f64;
             let expected = profile.rate(i + 1) * interior;
             assert!(
                 (measured - expected).abs() < 0.35 * expected + 0.01,

@@ -21,17 +21,11 @@ fn main() {
         );
     }
 
-    let ours = rows
-        .iter()
-        .find(|r| r.name.contains("SpikeStream FP8"))
-        .expect("FP8 row present");
+    let ours = rows.iter().find(|r| r.name.contains("SpikeStream FP8")).expect("FP8 row present");
     let lsm = rows.iter().find(|r| r.name == "LSMCore").expect("LSMCore row present");
     let loihi = rows.iter().find(|r| r.name == "Loihi").expect("Loihi row present");
     println!();
-    println!(
-        "SpikeStream FP8 vs Loihi:   {:.2}x faster",
-        loihi.latency_ms / ours.latency_ms
-    );
+    println!("SpikeStream FP8 vs Loihi:   {:.2}x faster", loihi.latency_ms / ours.latency_ms);
     println!(
         "SpikeStream FP8 vs LSMCore: {:.2}x slower, {:.2}x more energy-efficient",
         ours.latency_ms / lsm.latency_ms,

@@ -1,15 +1,20 @@
-//! Build a custom spiking CNN, run it through the cycle-level simulator and
-//! cross-check the kernels against the functional reference engine.
+//! Build a custom spiking CNN and run it through an explicit execution
+//! backend.
 //!
 //! This example exercises the lower-level APIs directly: network
-//! construction, workload generation, per-layer kernel invocation on the
-//! cluster model, and the reference engine used for verification.
+//! construction, backend selection via [`Engine::run_with_backend`] (here
+//! the cycle-level backend, which drives the kernels through the
+//! `LayerExecutor` dispatch), and the per-layer report. Third-party
+//! backends — accelerator models, event-driven simulators — plug into the
+//! same call without touching the engine.
 //!
 //! ```text
 //! cargo run --release --example custom_network
 //! ```
 
-use spikestream::{Engine, FiringProfile, FpFormat, InferenceConfig, KernelVariant, TimingModel};
+use spikestream::{
+    CycleLevelBackend, Engine, FiringProfile, FpFormat, InferenceConfig, KernelVariant, TimingModel,
+};
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
 use spikestream_snn::{ConvSpec, LinearSpec, NetworkBuilder};
@@ -53,15 +58,20 @@ fn main() {
     let profile = FiringProfile::uniform(network.len(), 0.2);
     let engine = Engine::new(network, profile);
 
-    println!("Custom network on the Snitch cluster (cycle-level simulation)\n");
+    println!("Custom network on the Snitch cluster (cycle-level backend)\n");
     for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
-        let report = engine.run(&InferenceConfig {
-            variant,
-            format: FpFormat::Fp16,
-            timing: TimingModel::CycleLevel,
-            batch: 2,
-            seed: 3,
-        });
+        // Equivalent to `engine.run` with `timing: TimingModel::CycleLevel`;
+        // spelled out to show where custom backends plug in.
+        let report = engine.run_with_backend(
+            &CycleLevelBackend,
+            &InferenceConfig {
+                variant,
+                format: FpFormat::Fp16,
+                timing: TimingModel::CycleLevel,
+                batch: 2,
+                seed: 3,
+            },
+        );
         println!("{variant}:");
         for layer in &report.layers {
             println!(

@@ -46,14 +46,8 @@ fn main() {
     }
 
     println!();
-    println!(
-        "SpikeStream FP16 speedup over baseline: {:.2}x",
-        streamed16.speedup_over(&baseline)
-    );
-    println!(
-        "SpikeStream FP8  speedup over baseline: {:.2}x",
-        streamed8.speedup_over(&baseline)
-    );
+    println!("SpikeStream FP16 speedup over baseline: {:.2}x", streamed16.speedup_over(&baseline));
+    println!("SpikeStream FP8  speedup over baseline: {:.2}x", streamed8.speedup_over(&baseline));
     println!(
         "Energy-efficiency gain (FP8 vs baseline): {:.2}x",
         streamed8.energy_gain_over(&baseline)

@@ -27,7 +27,14 @@ fn main() {
     println!("S-VGG11 per-layer breakdown (FP16, batch {batch})\n");
     println!(
         "{:<8} {:>8} {:>14} {:>14} {:>9} {:>10} {:>10} {:>10}",
-        "layer", "firing", "base cycles", "strm cycles", "speedup", "base util", "strm util", "E gain"
+        "layer",
+        "firing",
+        "base cycles",
+        "strm cycles",
+        "speedup",
+        "base util",
+        "strm util",
+        "E gain"
     );
     for (b, s) in baseline.layers.iter().zip(streamed.layers.iter()) {
         println!(

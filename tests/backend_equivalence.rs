@@ -1,0 +1,140 @@
+//! Backend equivalence: the analytic and cycle-level execution backends
+//! must agree on what the network *does* (spike counts, firing rates,
+//! synops ordering) even though they model *how long it takes* at very
+//! different fidelities — and the engine's parallel batch execution must be
+//! bit-identical to a sequential run of the same backend.
+
+use spikestream::{
+    AnalyticBackend, CycleLevelBackend, Engine, ExecutionBackend, FiringProfile, FpFormat,
+    InferenceConfig, InferenceReport, KernelVariant, TimingModel,
+};
+use spikestream_snn::neuron::LifParams;
+use spikestream_snn::tensor::TensorShape;
+use spikestream_snn::{ConvSpec, LinearSpec, NetworkBuilder};
+
+/// A small three-layer network the cycle-level backend can simulate
+/// quickly, with a uniform (jitter-free) firing profile so both backends
+/// see exactly the same per-layer rates.
+fn engine() -> Engine {
+    let lif = LifParams::new(0.5, 0.3);
+    let mut net = NetworkBuilder::new("equiv")
+        .conv(
+            "conv1",
+            ConvSpec {
+                input: TensorShape::new(8, 8, 3),
+                out_channels: 8,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                padding: 1,
+                pool: true,
+            },
+            lif,
+        )
+        .conv(
+            "conv2",
+            ConvSpec {
+                input: TensorShape::new(4, 4, 8),
+                out_channels: 16,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                padding: 1,
+                pool: false,
+            },
+            lif,
+        )
+        .linear("fc3", LinearSpec { in_features: 4 * 4 * 16, out_features: 10 }, lif)
+        .build_with_random_weights(21, 0.1);
+    net.layers_mut()[0].encodes_input = true;
+    net.validate().expect("shapes chain");
+    Engine::new(net, FiringProfile::uniform(3, 0.25))
+}
+
+fn config(timing: TimingModel, batch: usize) -> InferenceConfig {
+    InferenceConfig {
+        variant: KernelVariant::SpikeStream,
+        format: FpFormat::Fp16,
+        timing,
+        batch,
+        seed: 0xE0_15,
+    }
+}
+
+#[test]
+fn backends_report_identical_spike_counts() {
+    let engine = engine();
+    let cfg = config(TimingModel::Analytic, 3);
+    let ctx = engine.sample_context(&cfg);
+
+    for sample in 0..cfg.batch {
+        let analytic = AnalyticBackend.run_sample(&ctx, sample);
+        let cycle = CycleLevelBackend.run_sample(&ctx, sample);
+        assert_eq!(analytic.len(), cycle.len());
+
+        for (idx, (a, c)) in analytic.iter().zip(cycle.iter()).enumerate() {
+            // The workload generator realizes the jitter-free target rate
+            // exactly, so the analytic expectation and the cycle-level
+            // measurement are the same number.
+            assert_eq!(
+                a.input_spikes.round(),
+                c.input_spikes,
+                "layer {idx} sample {sample}: analytic {} vs cycle-level {}",
+                a.input_spikes,
+                c.input_spikes
+            );
+            assert!(a.synops > 0.0 && c.synops > 0.0, "layer {idx} must do work");
+        }
+
+        // The dense encoding layer consumes every padded pixel in both
+        // backends (the analytic rate column reports the profile's entry
+        // for layer 0, but its spike count is the dense pixel count).
+        assert_eq!(analytic[0].input_spikes, cycle[0].input_spikes);
+        assert_eq!(cycle[0].input_firing_rate, 1.0);
+    }
+}
+
+#[test]
+fn backends_agree_on_the_streaming_speedup() {
+    let engine = engine();
+    let run = |timing, variant| {
+        let mut cfg = config(timing, 2);
+        cfg.variant = variant;
+        engine.run(&cfg).total_cycles()
+    };
+    for timing in [TimingModel::Analytic, TimingModel::CycleLevel] {
+        let base = run(timing, KernelVariant::Baseline);
+        let fast = run(timing, KernelVariant::SpikeStream);
+        assert!(fast < base, "{timing:?}: SpikeStream ({fast}) must beat the baseline ({base})");
+    }
+}
+
+#[test]
+fn parallel_batch_128_is_byte_identical_to_sequential() {
+    // The acceptance configuration: a batch-128 analytic run through the
+    // engine's parallel path against a single-threaded reference run.
+    let engine = Engine::svgg11(42);
+    let cfg = InferenceConfig {
+        variant: KernelVariant::SpikeStream,
+        format: FpFormat::Fp16,
+        timing: TimingModel::Analytic,
+        batch: 128,
+        seed: 0xC1FA,
+    };
+    let parallel: InferenceReport = engine.run(&cfg);
+    let sequential = engine.run_sequential(&AnalyticBackend, &cfg);
+    assert_eq!(
+        parallel.to_json(),
+        sequential.to_json(),
+        "parallel batch execution must be byte-identical to the sequential reference"
+    );
+}
+
+#[test]
+fn cycle_level_parallel_runs_are_deterministic_too() {
+    let engine = engine();
+    let cfg = config(TimingModel::CycleLevel, 6);
+    let parallel = engine.run(&cfg);
+    let sequential = engine.run_sequential(&CycleLevelBackend, &cfg);
+    assert_eq!(parallel.to_json(), sequential.to_json());
+}

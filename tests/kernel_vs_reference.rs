@@ -60,7 +60,8 @@ fn conv_kernels_match_reference_for_every_format_and_variant() {
         for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
             let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
             let mut state = LifState::new(spec.conv_output().len());
-            let out = ConvKernel::new(variant, format).run(&mut cluster, &layer, &input, &mut state);
+            let out =
+                ConvKernel::new(variant, format).run(&mut cluster, &layer, &input, &mut state);
             outputs.push(out);
         }
         // The two variants are always bit-identical to each other.

@@ -1,0 +1,190 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/builder surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] and `Bencher::iter` — backed by a simple
+//! wall-clock harness: each benchmark runs `sample_size` timed samples
+//! after a warm-up pass and reports min/mean/max to stdout. No plots, no
+//! statistics machinery; just enough to keep `cargo bench` meaningful
+//! without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver configured by `criterion_group!`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on the total measurement time of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the closure untimed before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, &name.into(), &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named set of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Finish the group (formatting parity with the real crate; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the inner routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    deadline: Instant,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Warm up, then time `routine` once per sample until the sample budget
+    /// or the measurement deadline is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() > self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(config: &Criterion, name: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        deadline: Instant::now() + config.measurement_time,
+        warm_up: config.warm_up_time,
+        sample_size: config.sample_size,
+    };
+    f(&mut bencher);
+    let n = bencher.samples.len().max(1) as u32;
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{name:<48} samples {:>3}  min {:>12?}  mean {:>12?}  max {:>12?}",
+        bencher.samples.len(),
+        min,
+        mean,
+        max
+    );
+}
+
+/// Define a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut runs = 0usize;
+        quick().bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

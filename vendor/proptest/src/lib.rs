@@ -1,0 +1,171 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro over `arg in strategy` bindings, [`any`], integer and
+//! float range strategies, [`collection::vec`], and the `prop_assert*`
+//! macros. Each property runs a fixed number of deterministic randomized
+//! cases (no shrinking); failures report the usual assert diagnostics.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub use rand;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of randomized cases each property runs.
+pub const CASES: usize = 128;
+
+pub mod prelude {
+    //! Glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy};
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a natural full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw one value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+/// Strategy drawing from a type's full domain.
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, i32, i64, f32, f64);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy over `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n =
+                if self.len.is_empty() { self.len.start } else { rng.gen_range(self.len.clone()) };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Derive a per-property RNG seed from the property name, so every property
+/// explores its own deterministic sequence.
+pub fn seed_for(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic randomized cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng: $crate::rand::rngs::StdRng = $crate::rand::SeedableRng::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_give_in_bounds_values(x in 3usize..9, f in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_the_range(v in crate::collection::vec(any::<bool>(), 0..16)) {
+            prop_assert!(v.len() < 16);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_property_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}

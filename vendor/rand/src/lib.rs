@@ -1,0 +1,345 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the rand 0.8 API it actually uses: seedable
+//! deterministic generators ([`rngs::StdRng`], [`rngs::mock::StepRng`]) and
+//! the [`Rng`] convenience methods `gen`, `gen_bool` and `gen_range`.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256** seeded through
+//! SplitMix64 — not the ChaCha12 core of the real crate, but statistically
+//! solid and, crucially, **deterministic for a given seed**, which is what
+//! the reproduction relies on (bit-identical reports for equal seeds).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T` over its natural domain
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly distributed value in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that [`Rng::gen`] can sample from their natural domain.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f32(rng.next_u32())
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+/// Types with a uniform distribution over half-open and inclusive ranges.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// A value in `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let v = lo + (hi - lo) * unit_f64(rng.next_u64());
+        // `lo + (hi - lo) * u` can round up to `hi` even though `u < 1`;
+        // a half-open range must never return its upper bound.
+        if !inclusive && v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v.clamp(lo, hi)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let v = lo + (hi - lo) * unit_f32(rng.next_u32());
+        if !inclusive && v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v.clamp(lo, hi)
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                // i128 arithmetic sidesteps `hi - lo` overflow for signed
+                // types and the 2^64-wide inclusive full-domain case.
+                let span = (hi as i128).wrapping_sub(lo as i128) + inclusive as i128;
+                if span <= 0 || span > u64::MAX as i128 {
+                    // Full 64-bit domain: every bit pattern is a valid value.
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i128) + (rng.next_u64() % span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Ranges that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty inclusive range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map 32 random bits to a uniform `f32` in `[0, 1)`.
+fn unit_f32(bits: u32) -> f32 {
+    (bits >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+pub mod rngs {
+    //! The concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic general-purpose generator (xoshiro256** over a
+    /// SplitMix64-expanded seed).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    pub mod mock {
+        //! Trivial generators for unit tests.
+
+        use super::super::RngCore;
+
+        /// Emits `initial`, `initial + increment`, `initial + 2*increment`, …
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Create a generator counting from `initial` by `increment`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng { value: initial, increment }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&i));
+            let g = rng.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits} hits");
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn half_open_float_ranges_exclude_the_upper_bound() {
+        // StepRng at u64::MAX pins the unit sample at its maximum, where
+        // `lo + (hi - lo) * u` rounds up to `hi` without the guard.
+        let mut rng = StepRng::new(u64::MAX, 0);
+        for _ in 0..4 {
+            let v: f64 = rng.gen_range(0.25..0.75);
+            assert!(v < 0.75, "f64 half-open range returned its bound: {v}");
+            let f: f32 = rng.gen_range(0.25..0.75);
+            assert!(f < 0.75, "f32 half-open range returned its bound: {f}");
+        }
+    }
+
+    #[test]
+    fn full_domain_integer_ranges_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let v: i64 = rng.gen_range(i64::MIN..i64::MAX);
+        assert!(v < i64::MAX);
+        let u: usize = rng.gen_range(0..=usize::MAX);
+        let _ = u;
+    }
+
+    #[test]
+    fn step_rng_counts() {
+        let mut rng = StepRng::new(1, 7);
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u64(), 8);
+        assert_eq!(rng.next_u64(), 15);
+    }
+}

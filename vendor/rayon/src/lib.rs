@@ -1,0 +1,148 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset the workspace uses — `into_par_iter().map(f)
+//! .collect::<Vec<_>>()` — with real data parallelism: the input is split
+//! into contiguous chunks, one scoped OS thread per chunk, and the results
+//! are reassembled **in input order**, so a parallel map is always
+//! element-for-element identical to its sequential counterpart.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Begin a parallel pipeline over the elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Operations shared by the parallel pipeline stages.
+pub trait ParallelIterator: Sized {
+    /// Element type produced by this stage.
+    type Item: Send;
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A pending parallel map; executes when collected.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
+    type Item = R;
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Run the map across scoped threads and collect the results in input
+    /// order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Number of worker threads: the machine's parallelism, capped by the
+/// element count.
+fn thread_count(len: usize) -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(len).max(1)
+}
+
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Contiguous chunks keep reassembly a simple ordered concatenation.
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel map worker panicked")).collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for part in out.drain(..) {
+        flat.extend(part);
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let seq: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        let par: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn vec_source_and_non_copy_results() {
+        let strings: Vec<String> =
+            vec![1, 2, 3].into_par_iter().map(|i: i32| format!("v{i}")).collect();
+        assert_eq!(strings, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = (5..6).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(one, vec![6]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as derive annotations (`#[derive(Serialize,
+//! Deserialize)]`); no code path serializes through serde's data model, and
+//! report JSON is produced by hand in `spikestream::report`. This crate
+//! re-exports no-op derive macros so those annotations compile without
+//! crates.io access. The `derive` feature exists so dependents can request
+//! it as they would with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};

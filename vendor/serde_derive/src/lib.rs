@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives the serde traits purely as annotations — nothing
+//! serializes through serde's data model (JSON output is hand-rolled in
+//! `spikestream::report`). These derives therefore expand to nothing, which
+//! keeps every `#[derive(Serialize, Deserialize)]` in the tree compiling
+//! without crates.io access. `#[serde(...)]` helper attributes are accepted
+//! and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
