@@ -1,0 +1,45 @@
+//! Bench for the sharded batch driver: the fleet path must not cost more
+//! than the plain parallel fan-out it refines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spikestream::{AnalyticBackend, Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel};
+use spikestream_bench::BENCH_BATCH;
+use std::time::Duration;
+
+fn config() -> InferenceConfig {
+    InferenceConfig {
+        variant: KernelVariant::SpikeStream,
+        format: FpFormat::Fp16,
+        timing: TimingModel::Analytic,
+        batch: BENCH_BATCH * 4,
+        seed: 0xC1FA,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::svgg11(1);
+    let cfg = config();
+
+    c.bench_function("batch_parallel_fanout", |b| {
+        b.iter(|| engine.run_with_backend(&AnalyticBackend, std::hint::black_box(&cfg)))
+    });
+
+    for shards in [1usize, 8] {
+        let name = format!("batch_sharded_{shards}");
+        c.bench_function(name.as_str(), |b| {
+            b.iter(|| {
+                let report =
+                    engine.run_sharded(&AnalyticBackend, std::hint::black_box(&cfg), shards);
+                assert_eq!(report.shards.as_ref().map(|s| s.shards.len()), Some(shards));
+                report
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

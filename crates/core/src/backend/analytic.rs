@@ -21,9 +21,15 @@ impl ExecutionBackend for AnalyticBackend {
     }
 
     fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample> {
+        let mut out = Vec::with_capacity(ctx.network.len());
+        self.run_sample_into(ctx, sample, &mut out);
+        out
+    }
+
+    fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
         let model = AnalyticLayerModel::new(ctx.cluster.clone(), ctx.cost.clone());
         let n = ctx.network.len();
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         for (idx, layer) in ctx.network.layers().iter().enumerate() {
             let input_rate = ctx.sample_rate(idx, sample);
             let output_rate = ctx.sample_rate((idx + 1).min(n - 1), sample);
@@ -37,7 +43,6 @@ impl ExecutionBackend for AnalyticBackend {
             );
             out.push(layer_sample(ctx, &layer.kind, idx, input_rate, &timing));
         }
-        out
     }
 }
 

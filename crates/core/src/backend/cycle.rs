@@ -2,7 +2,7 @@
 
 use snitch_sim::ClusterModel;
 use spikestream_energy::Activity;
-use spikestream_kernels::{LayerExecutor, LayerInput};
+use spikestream_kernels::{LayerExecutor, LayerInput, LayerScratch};
 use spikestream_snn::{LayerKind, WorkloadGenerator};
 
 use super::{ExecutionBackend, LayerSample, SampleContext};
@@ -11,7 +11,8 @@ use super::{ExecutionBackend, LayerSample, SampleContext};
 /// every layer through the
 /// [`LayerExecutor`](spikestream_kernels::LayerExecutor) kernel dispatch on
 /// a fresh [`ClusterModel`] (slower than the analytic backend; used for
-/// validation and small batches).
+/// validation and small batches). One [`LayerScratch`] is reused across the
+/// layers of the sample.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CycleLevelBackend;
 
@@ -21,10 +22,17 @@ impl ExecutionBackend for CycleLevelBackend {
     }
 
     fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample> {
+        let mut out = Vec::with_capacity(ctx.network.len());
+        self.run_sample_into(ctx, sample, &mut out);
+        out
+    }
+
+    fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
         let generator = WorkloadGenerator::new(ctx.profile.clone(), ctx.config.seed);
         let workload = generator.generate(ctx.network, sample);
         let executor = LayerExecutor::new(ctx.config.variant, ctx.config.format);
-        let mut out = Vec::with_capacity(ctx.network.len());
+        let mut scratch = LayerScratch::new();
+        out.reserve(ctx.network.len());
 
         for (idx, layer) in ctx.network.layers().iter().enumerate() {
             let mut cluster = ClusterModel::new(ctx.cluster.clone(), ctx.cost.clone());
@@ -32,7 +40,7 @@ impl ExecutionBackend for CycleLevelBackend {
                 LayerKind::Conv(_) if layer.encodes_input => LayerInput::Image(&workload.image),
                 _ => LayerInput::Spikes(workload.spikes_for_layer(idx)),
             };
-            let exec = executor.run(&mut cluster, layer, input);
+            let exec = executor.run_with_scratch(&mut cluster, layer, input, &mut scratch);
             let stats = cluster.finish_phase(&layer.name);
 
             let activity = Activity {
@@ -54,6 +62,5 @@ impl ExecutionBackend for CycleLevelBackend {
                 aer_footprint_bytes: exec.aer_footprint_bytes,
             });
         }
-        out
     }
 }

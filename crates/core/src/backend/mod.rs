@@ -77,7 +77,7 @@ impl SampleContext<'_> {
 }
 
 /// Per-sample, per-layer measurement before averaging.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LayerSample {
     /// Runtime in cycles.
     pub cycles: f64,
@@ -105,6 +105,50 @@ pub struct LayerSample {
 /// randomness derived from `(ctx.config.seed, sample)`), which lets the
 /// engine run samples on worker threads in any order while producing
 /// results bit-identical to a sequential loop.
+///
+/// # Example
+///
+/// A custom backend plugs into the engine without engine changes:
+///
+/// ```
+/// use spikestream::{
+///     Engine, ExecutionBackend, FpFormat, InferenceConfig, KernelVariant, LayerSample,
+///     SampleContext, TimingModel,
+/// };
+///
+/// /// A toy backend charging one cycle per expected synaptic operation.
+/// struct SynopCounting;
+///
+/// impl ExecutionBackend for SynopCounting {
+///     fn name(&self) -> &'static str {
+///         "synop-counting"
+///     }
+///
+///     fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample> {
+///         ctx.network
+///             .layers()
+///             .iter()
+///             .enumerate()
+///             .map(|(idx, layer)| {
+///                 let rate = ctx.sample_rate(idx, sample);
+///                 let synops = layer.kind.dense_synops() as f64 * rate;
+///                 LayerSample { cycles: synops.max(1.0), synops, ..Default::default() }
+///             })
+///             .collect()
+///     }
+/// }
+///
+/// let engine = Engine::svgg11(1);
+/// let config = InferenceConfig {
+///     variant: KernelVariant::SpikeStream,
+///     format: FpFormat::Fp16,
+///     timing: TimingModel::Analytic, // ignored: the backend is explicit
+///     batch: 2,
+///     seed: 7,
+/// };
+/// let report = engine.run_with_backend(&SynopCounting, &config);
+/// assert!(report.total_cycles() > 0.0);
+/// ```
 pub trait ExecutionBackend: Send + Sync {
     /// Human-readable backend name (for reports and diagnostics).
     fn name(&self) -> &'static str;
@@ -112,6 +156,19 @@ pub trait ExecutionBackend: Send + Sync {
     /// Evaluate batch sample `sample`, returning one [`LayerSample`] per
     /// network layer, in layer order.
     fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample>;
+
+    /// Evaluate batch sample `sample`, appending one [`LayerSample`] per
+    /// network layer to `out` (in layer order) instead of allocating a
+    /// fresh vector.
+    ///
+    /// The sharded batch scheduler drives this entry point with a reused
+    /// per-worker scratch vector so its hot loop performs no per-sample
+    /// allocation; the built-in backends override the default
+    /// (`out.extend(self.run_sample(..))`) accordingly. The two entry
+    /// points must produce identical samples.
+    fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
+        out.extend(self.run_sample(ctx, sample));
+    }
 }
 
 /// The built-in backend implementing a [`TimingModel`].

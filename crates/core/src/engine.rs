@@ -18,6 +18,7 @@ use spikestream_snn::{FiringProfile, Network};
 
 use crate::backend::{self, ExecutionBackend, LayerSample, SampleContext};
 use crate::report::{InferenceReport, LayerReport};
+use crate::sharding::BatchScheduler;
 
 /// Which timing model the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -142,11 +143,33 @@ impl Engine {
         let batch = config.batch.max(1);
         let per_sample: Vec<Vec<LayerSample>> =
             (0..batch).into_par_iter().map(|sample| backend.run_sample(&ctx, sample)).collect();
-        self.summarize_batch(&per_sample, config, batch)
+        let flat: Vec<LayerSample> = per_sample.into_iter().flatten().collect();
+        self.summarize_batch(&flat, config, batch)
+    }
+
+    /// Run the network under `config` on a fleet of `shards` simulated
+    /// clusters through the work-stealing [`BatchScheduler`].
+    ///
+    /// The aggregate layer statistics are bit-identical to
+    /// [`Engine::run_sequential`] with the same backend and config — only
+    /// the [`shards`](InferenceReport::shards) fleet statistics
+    /// (utilization, imbalance, makespan) are added on top.
+    pub fn run_sharded(
+        &self,
+        backend: &dyn ExecutionBackend,
+        config: &InferenceConfig,
+        shards: usize,
+    ) -> InferenceReport {
+        let ctx = self.sample_context(config);
+        let batch = config.batch.max(1);
+        let sharded = BatchScheduler::new(shards).run(backend, &ctx, batch, self.network.len());
+        let mut report = self.summarize_batch(sharded.samples(), config, batch);
+        report.shards = Some(sharded.summary());
+        report
     }
 
     /// Single-threaded reference of [`Engine::run_with_backend`]; exists so
-    /// tests can assert the parallel path is bit-identical.
+    /// tests can assert the parallel and sharded paths are bit-identical.
     pub fn run_sequential(
         &self,
         backend: &dyn ExecutionBackend,
@@ -154,18 +177,29 @@ impl Engine {
     ) -> InferenceReport {
         let ctx = self.sample_context(config);
         let batch = config.batch.max(1);
-        let per_sample: Vec<Vec<LayerSample>> =
-            (0..batch).map(|sample| backend.run_sample(&ctx, sample)).collect();
-        self.summarize_batch(&per_sample, config, batch)
+        let mut flat: Vec<LayerSample> = Vec::with_capacity(batch * self.network.len());
+        for sample in 0..batch {
+            backend.run_sample_into(&ctx, sample, &mut flat);
+        }
+        self.summarize_batch(&flat, config, batch)
     }
 
-    /// Average per-sample layer measurements into the final report.
+    /// Average per-sample layer measurements into the final report. `flat`
+    /// holds sample-major measurements (sample `s`, layer `l` at
+    /// `s * layer_count + l`), the layout shared by the sequential loop,
+    /// the parallel fan-out and the sharded scheduler.
     fn summarize_batch(
         &self,
-        per_sample: &[Vec<LayerSample>],
+        flat: &[LayerSample],
         config: &InferenceConfig,
         batch: usize,
     ) -> InferenceReport {
+        let stride = self.network.len();
+        assert_eq!(
+            flat.len(),
+            batch * stride,
+            "backend must return exactly one LayerSample per network layer per sample"
+        );
         let layers = self
             .network
             .layers()
@@ -173,7 +207,7 @@ impl Engine {
             .enumerate()
             .map(|(idx, layer)| {
                 let samples: Vec<LayerSample> =
-                    per_sample.iter().map(|sample| sample[idx]).collect();
+                    flat[idx..].iter().step_by(stride).copied().collect();
                 self.summarize(layer.name.clone(), &samples)
             })
             .collect();
@@ -184,6 +218,7 @@ impl Engine {
             format: config.format,
             batch,
             layers,
+            shards: None,
         }
     }
 

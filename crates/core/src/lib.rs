@@ -23,6 +23,13 @@
 //! * [`backend`] is the pluggable execution layer: the analytic and
 //!   cycle-level timing models are [`ExecutionBackend`] implementations,
 //!   and custom backends run through [`Engine::run_with_backend`];
+//! * [`sharding`] is the fleet layer: [`Engine::run_sharded`] spreads a
+//!   batch over N simulated cluster shards through the work-stealing
+//!   [`BatchScheduler`], with per-shard utilization/imbalance statistics
+//!   in the report (aggregates stay bit-identical to
+//!   [`Engine::run_sequential`]);
+//! * [`scenario`] parses the declarative scenario files driving the
+//!   `spikestream` CLI (`run` / `bench` / `compare`);
 //! * [`experiments`] regenerates every figure of the paper's evaluation.
 //!
 //! # Quickstart
@@ -53,12 +60,16 @@ pub mod backend;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod scenario;
+pub mod sharding;
 
 pub use backend::{
     AnalyticBackend, CycleLevelBackend, ExecutionBackend, LayerSample, SampleContext,
 };
 pub use engine::{Engine, InferenceConfig, TimingModel};
-pub use report::{InferenceReport, LayerReport};
+pub use report::{InferenceReport, LayerReport, ShardSummary, ShardUtilization};
+pub use scenario::{NetworkChoice, Scenario, ScenarioError};
+pub use sharding::{BatchScheduler, ShardedBatch};
 
 // Re-export the vocabulary types users need to drive the engine.
 pub use neuro_accel_models::{AcceleratorResult, AcceleratorSpec};

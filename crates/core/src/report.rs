@@ -36,6 +36,39 @@ pub struct LayerReport {
     pub aer_footprint_bytes: f64,
 }
 
+/// Occupancy statistics of one cluster shard in a sharded batch run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardUtilization {
+    /// Shard id (position in the fleet).
+    pub shard: usize,
+    /// Number of batch samples this shard executed.
+    pub samples: u64,
+    /// Simulated cycles this shard spent busy.
+    pub busy_cycles: f64,
+    /// Fraction of the batch makespan this shard spent busy (0..=1).
+    pub utilization: f64,
+}
+
+/// Fleet-level statistics of a sharded batch run
+/// ([`Engine::run_sharded`](crate::Engine::run_sharded)).
+///
+/// The shard assignment is a deterministic function of the per-sample
+/// cycle counts (least-loaded stealing in simulated time), so these
+/// statistics are as reproducible as the aggregate report itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Per-shard occupancy, indexed by shard id.
+    pub shards: Vec<ShardUtilization>,
+    /// Simulated wall time of the batch: the busiest shard's cycles.
+    pub makespan_cycles: f64,
+    /// Load imbalance: busiest shard over the mean (1.0 = perfectly
+    /// balanced).
+    pub imbalance: f64,
+    /// Effective parallel speedup over a single shard running the whole
+    /// stream (total busy cycles / makespan).
+    pub batch_speedup: f64,
+}
+
 /// End-to-end inference report for one configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceReport {
@@ -49,6 +82,11 @@ pub struct InferenceReport {
     pub batch: usize,
     /// Per-layer statistics in execution order.
     pub layers: Vec<LayerReport>,
+    /// Per-shard fleet statistics; `None` for unsharded (sequential or
+    /// plain parallel) runs. The aggregate layer statistics above are
+    /// independent of the sharding, so stripping this field from a sharded
+    /// report yields the bit-identical sequential report.
+    pub shards: Option<ShardSummary>,
 }
 
 impl InferenceReport {
@@ -122,8 +160,46 @@ impl InferenceReport {
             }
             layer.write_json(&mut out);
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(shards) = &self.shards {
+            out.push_str(",\"shards\":");
+            shards.write_json(&mut out);
+        }
+        out.push('}');
         out
+    }
+
+    /// The same report without the fleet statistics. A sharded report
+    /// stripped this way is bit-identical (including
+    /// [`to_json`](InferenceReport::to_json)) to the sequential report of
+    /// the same scenario.
+    pub fn without_shard_stats(mut self) -> Self {
+        self.shards = None;
+        self
+    }
+}
+
+impl ShardSummary {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"makespan_cycles\":");
+        json_f64(out, self.makespan_cycles);
+        out.push_str(",\"imbalance\":");
+        json_f64(out, self.imbalance);
+        out.push_str(",\"batch_speedup\":");
+        json_f64(out, self.batch_speedup);
+        out.push_str(",\"per_shard\":[");
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"shard\":{},\"samples\":{}", shard.shard, shard.samples));
+            out.push_str(",\"busy_cycles\":");
+            json_f64(out, shard.busy_cycles);
+            out.push_str(",\"utilization\":");
+            json_f64(out, shard.utilization);
+            out.push('}');
+        }
+        out.push_str("]}");
     }
 }
 
@@ -214,6 +290,7 @@ mod tests {
             format: FpFormat::Fp16,
             batch: 1,
             layers: vec![layer("a", cycles, 0.1, energy), layer("b", cycles, 0.5, energy)],
+            shards: None,
         }
     }
 
@@ -254,6 +331,36 @@ mod tests {
         // Balanced braces/brackets (flat sanity check, no parser available).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn shard_summary_renders_and_strips_deterministically() {
+        let plain = report(1000.0, 1e-6);
+        let mut sharded = plain.clone();
+        sharded.shards = Some(ShardSummary {
+            shards: vec![
+                ShardUtilization { shard: 0, samples: 3, busy_cycles: 3000.0, utilization: 1.0 },
+                ShardUtilization {
+                    shard: 1,
+                    samples: 2,
+                    busy_cycles: 2000.0,
+                    utilization: 2.0 / 3.0,
+                },
+            ],
+            makespan_cycles: 3000.0,
+            imbalance: 1.2,
+            batch_speedup: 5.0 / 3.0,
+        });
+        let json = sharded.to_json();
+        assert!(json.contains("\"shards\":{\"makespan_cycles\":3000.0"));
+        assert!(json.contains("\"per_shard\":[{\"shard\":0,\"samples\":3"));
+        assert!(json.contains("\"imbalance\":1.2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Stripping the fleet stats restores the unsharded report exactly.
+        assert_eq!(sharded.clone().without_shard_stats(), plain);
+        assert_eq!(sharded.without_shard_stats().to_json(), plain.to_json());
+        assert!(!plain.to_json().contains("shards"));
     }
 
     #[test]

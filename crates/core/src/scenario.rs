@@ -1,0 +1,436 @@
+//! Declarative scenario files for the `spikestream` CLI.
+//!
+//! A scenario is a small key/value file (a strict TOML subset — one
+//! `[scenario]` table, `key = value` lines, `#` comments) that names
+//! everything one batch-inference run needs: the network, the code
+//! variant, the storage format, the timing model, the batch size, the
+//! seed and the shard count. The CLI's `run`, `bench` and `compare`
+//! subcommands all start from a scenario file, so every fleet experiment
+//! is reproducible from a checked-in artifact.
+//!
+//! ```text
+//! # examples/scenarios/svgg11_fp16.toml
+//! [scenario]
+//! name    = "svgg11-fp16"
+//! network = "svgg11"        # svgg11 | tiny-cnn
+//! variant = "spikestream"   # baseline | spikestream
+//! format  = "fp16"          # fp64 | fp32 | fp16 | fp8
+//! timing  = "analytic"      # analytic | cycle-level
+//! batch   = 128
+//! seed    = 0xC1FA
+//! shards  = 8
+//! ```
+//!
+//! The parser is hand-rolled (no external TOML dependency) and rejects
+//! anything outside the subset with a line-numbered error.
+//!
+//! # Example
+//!
+//! ```
+//! use spikestream::Scenario;
+//!
+//! let scenario = Scenario::parse(
+//!     "[scenario]\n\
+//!      name = \"quick\"\n\
+//!      batch = 4\n\
+//!      shards = 2\n",
+//! )
+//! .unwrap();
+//! assert_eq!(scenario.name, "quick");
+//! let report = scenario.run();
+//! assert_eq!(report.batch, 4);
+//! assert_eq!(report.shards.as_ref().unwrap().shards.len(), 2);
+//! ```
+
+use snitch_arch::fp::FpFormat;
+use spikestream_kernels::KernelVariant;
+use spikestream_snn::neuron::LifParams;
+use spikestream_snn::tensor::TensorShape;
+use spikestream_snn::{ConvSpec, FiringProfile, LinearSpec, Network, NetworkBuilder};
+
+use crate::backend::for_timing;
+use crate::engine::{Engine, InferenceConfig, TimingModel};
+use crate::report::InferenceReport;
+
+/// The networks a scenario can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkChoice {
+    /// The paper's S-VGG11 with its calibrated CIFAR-10 firing profile.
+    Svgg11,
+    /// A small two-conv-plus-FC network (8x8x3 input) that the cycle-level
+    /// timing model can evaluate in test/smoke time budgets.
+    TinyCnn,
+}
+
+impl NetworkChoice {
+    /// Build the network and its firing profile for `seed`.
+    pub fn build(self, seed: u64) -> (Network, FiringProfile) {
+        match self {
+            NetworkChoice::Svgg11 => (Network::svgg11(seed), FiringProfile::paper_svgg11()),
+            NetworkChoice::TinyCnn => {
+                let lif = LifParams::new(0.5, 0.3);
+                let mut net = NetworkBuilder::new("tiny-cnn")
+                    .conv(
+                        "conv1",
+                        ConvSpec {
+                            input: TensorShape::new(8, 8, 3),
+                            out_channels: 8,
+                            kh: 3,
+                            kw: 3,
+                            stride: 1,
+                            padding: 1,
+                            pool: true,
+                        },
+                        lif,
+                    )
+                    .conv(
+                        "conv2",
+                        ConvSpec {
+                            input: TensorShape::new(4, 4, 8),
+                            out_channels: 16,
+                            kh: 3,
+                            kw: 3,
+                            stride: 1,
+                            padding: 1,
+                            pool: false,
+                        },
+                        lif,
+                    )
+                    .linear("fc3", LinearSpec { in_features: 4 * 4 * 16, out_features: 10 }, lif)
+                    .build_with_random_weights(seed, 0.1);
+                net.layers_mut()[0].encodes_input = true;
+                (net, FiringProfile::uniform(3, 0.25))
+            }
+        }
+    }
+
+    /// The scenario-file spelling of this choice.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetworkChoice::Svgg11 => "svgg11",
+            NetworkChoice::TinyCnn => "tiny-cnn",
+        }
+    }
+}
+
+/// A parse/validation error with the 1-based line it occurred on (0 for
+/// file-level problems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based source line, 0 when no single line is at fault.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario: {}", self.message)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError { line, message: message.into() }
+}
+
+/// One declarative batch-inference scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (used in output headers).
+    pub name: String,
+    /// Network to evaluate.
+    pub network: NetworkChoice,
+    /// Inference configuration (variant, format, timing, batch, seed).
+    pub config: InferenceConfig,
+    /// Number of simulated cluster shards the batch is spread over.
+    pub shards: usize,
+}
+
+impl Scenario {
+    /// The defaults a scenario file overrides: S-VGG11, SpikeStream
+    /// variant, FP16, analytic timing, the paper's batch of 128, one
+    /// shard.
+    pub fn defaults() -> Self {
+        Scenario {
+            name: "unnamed".to_string(),
+            network: NetworkChoice::Svgg11,
+            config: InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16),
+            shards: 1,
+        }
+    }
+
+    /// Parse a scenario from the TOML-subset text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered [`ScenarioError`] for anything outside the
+    /// subset: unknown sections or keys, malformed values, missing
+    /// `[scenario]` header.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let mut scenario = Scenario::defaults();
+        let mut in_scenario = false;
+        let mut saw_section = false;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, "unterminated section header"))?
+                    .trim();
+                if section != "scenario" {
+                    return Err(err(lineno, format!("unknown section `[{section}]`")));
+                }
+                in_scenario = true;
+                saw_section = true;
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+            if !in_scenario {
+                return Err(err(lineno, "keys must appear inside the `[scenario]` section"));
+            }
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "name" => scenario.name = parse_string(lineno, value)?,
+                "network" => {
+                    scenario.network = match parse_string(lineno, value)?.as_str() {
+                        "svgg11" => NetworkChoice::Svgg11,
+                        "tiny-cnn" | "tiny" => NetworkChoice::TinyCnn,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown network `{other}` (svgg11 | tiny-cnn)"),
+                            ))
+                        }
+                    }
+                }
+                "variant" => {
+                    scenario.config.variant = match parse_string(lineno, value)?.as_str() {
+                        "baseline" => KernelVariant::Baseline,
+                        "spikestream" => KernelVariant::SpikeStream,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown variant `{other}` (baseline | spikestream)"),
+                            ))
+                        }
+                    }
+                }
+                "format" => {
+                    scenario.config.format = match parse_string(lineno, value)?.as_str() {
+                        "fp64" => FpFormat::Fp64,
+                        "fp32" => FpFormat::Fp32,
+                        "fp16" => FpFormat::Fp16,
+                        "fp8" => FpFormat::Fp8,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown format `{other}` (fp64 | fp32 | fp16 | fp8)"),
+                            ))
+                        }
+                    }
+                }
+                "timing" => {
+                    scenario.config.timing = match parse_string(lineno, value)?.as_str() {
+                        "analytic" => TimingModel::Analytic,
+                        "cycle-level" | "cycle" => TimingModel::CycleLevel,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown timing `{other}` (analytic | cycle-level)"),
+                            ))
+                        }
+                    }
+                }
+                "batch" => {
+                    let batch = parse_u64(lineno, value)? as usize;
+                    if batch == 0 {
+                        return Err(err(lineno, "batch must be at least 1"));
+                    }
+                    scenario.config.batch = batch;
+                }
+                "seed" => scenario.config.seed = parse_u64(lineno, value)?,
+                "shards" => {
+                    let shards = parse_u64(lineno, value)? as usize;
+                    if shards == 0 {
+                        return Err(err(lineno, "shards must be at least 1"));
+                    }
+                    scenario.shards = shards;
+                }
+                other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+
+        if !saw_section {
+            return Err(err(0, "missing `[scenario]` section"));
+        }
+        Ok(scenario)
+    }
+
+    /// Read and parse a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the file cannot be read or fails
+    /// [`Scenario::parse`].
+    pub fn from_file(path: &std::path::Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Build the engine this scenario describes.
+    pub fn engine(&self) -> Engine {
+        let (network, profile) = self.network.build(self.config.seed);
+        Engine::new(network, profile)
+    }
+
+    /// Run the scenario through the sharded batch driver and return the
+    /// report (with fleet statistics).
+    pub fn run(&self) -> InferenceReport {
+        self.engine().run_sharded(for_timing(self.config.timing), &self.config, self.shards)
+    }
+
+    /// Run the scenario through the single-threaded reference path (no
+    /// fleet statistics); bit-identical in all aggregate fields to
+    /// [`Scenario::run`].
+    pub fn run_sequential(&self) -> InferenceReport {
+        self.engine().run_sequential(for_timing(self.config.timing), &self.config)
+    }
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a double-quoted string value.
+fn parse_string(line: usize, value: &str) -> Result<String, ScenarioError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected a quoted string, got `{value}`")))?;
+    if inner.contains('"') {
+        return Err(err(line, "embedded quotes are not supported"));
+    }
+    Ok(inner.to_string())
+}
+
+/// Parse an unsigned integer (decimal, or hex with an `0x` prefix;
+/// underscores allowed as digit separators).
+fn parse_u64(line: usize, value: &str) -> Result<u64, ScenarioError> {
+    let cleaned = value.replace('_', "");
+    let parsed = match cleaned.strip_prefix("0x").or_else(|| cleaned.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => cleaned.parse(),
+    };
+    parsed.map_err(|_| err(line, format!("expected an unsigned integer, got `{value}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+# A fully-specified scenario.
+[scenario]
+name    = "full"          # trailing comment
+network = "tiny-cnn"
+variant = "baseline"
+format  = "fp8"
+timing  = "cycle-level"
+batch   = 3
+seed    = 0xBEEF
+shards  = 4
+"#;
+
+    #[test]
+    fn full_scenario_round_trips_every_key() {
+        let s = Scenario::parse(FULL).unwrap();
+        assert_eq!(s.name, "full");
+        assert_eq!(s.network, NetworkChoice::TinyCnn);
+        assert_eq!(s.config.variant, KernelVariant::Baseline);
+        assert_eq!(s.config.format, FpFormat::Fp8);
+        assert_eq!(s.config.timing, TimingModel::CycleLevel);
+        assert_eq!(s.config.batch, 3);
+        assert_eq!(s.config.seed, 0xBEEF);
+        assert_eq!(s.shards, 4);
+    }
+
+    #[test]
+    fn omitted_keys_fall_back_to_the_paper_defaults() {
+        let s = Scenario::parse("[scenario]\nname = \"d\"\n").unwrap();
+        assert_eq!(s.network, NetworkChoice::Svgg11);
+        assert_eq!(s.config, InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16));
+        assert_eq!(s.shards, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("[fleet]\n", 1, "unknown section"),
+            ("[scenario]\nbogus = 1\n", 2, "unknown key"),
+            ("[scenario]\nbatch = \"x\"\n", 2, "unsigned integer"),
+            ("[scenario]\nbatch = 0\n", 2, "at least 1"),
+            ("[scenario]\nshards = 0\n", 2, "at least 1"),
+            ("[scenario]\nnetwork = \"resnet\"\n", 2, "unknown network"),
+            ("[scenario]\nname = unquoted\n", 2, "quoted string"),
+            ("[scenario]\nnonsense\n", 2, "key = value"),
+            ("name = \"early\"\n", 1, "inside the `[scenario]` section"),
+            ("", 0, "missing `[scenario]`"),
+        ];
+        for (text, line, needle) in cases {
+            let e = Scenario::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}: {e}");
+            assert!(e.message.contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn comments_do_not_break_quoted_values() {
+        let s = Scenario::parse("[scenario]\nname = \"has # hash\"\n").unwrap();
+        assert_eq!(s.name, "has # hash");
+    }
+
+    #[test]
+    fn tiny_network_builds_and_validates() {
+        let (net, profile) = NetworkChoice::TinyCnn.build(7);
+        assert!(net.validate().is_ok());
+        assert_eq!(net.len(), 3);
+        assert_eq!(profile.rates.len(), 3);
+        assert!(net.layers()[0].encodes_input);
+    }
+
+    #[test]
+    fn scenario_run_matches_its_sequential_reference() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"eq\"\nnetwork = \"tiny-cnn\"\nbatch = 6\nshards = 3\n",
+        )
+        .unwrap();
+        let sharded = s.run();
+        let sequential = s.run_sequential();
+        assert_eq!(sharded.shards.as_ref().unwrap().shards.len(), 3);
+        assert_eq!(sharded.without_shard_stats(), sequential);
+    }
+}

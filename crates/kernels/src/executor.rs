@@ -3,10 +3,9 @@
 //! [`LayerExecutor`] is the single entry point execution backends use to
 //! run one network layer on the cycle-level cluster model. It owns the
 //! mapping from layer kind and input representation to the concrete kernel
-//! — [`DenseEncodingKernel`](crate::DenseEncodingKernel) for the dense
-//! spike-encoding first layer, [`ConvKernel`](crate::ConvKernel) for
-//! spike-consuming convolutions, [`FcKernel`](crate::FcKernel) for fully
-//! connected layers — together with the input compression each kernel
+//! — [`DenseEncodingKernel`] for the dense spike-encoding first layer,
+//! [`ConvKernel`] for spike-consuming convolutions, [`FcKernel`] for
+//! fully connected layers — together with the input compression each kernel
 //! expects. Callers hand it a [`LayerInput`] and read the structural
 //! measurements back from the returned [`LayerExecution`]; timing is
 //! accumulated in the [`ClusterModel`] as usual and collected by the caller
@@ -48,7 +47,61 @@ pub struct LayerExecution {
     pub output_spikes: u64,
 }
 
+/// Reusable buffers for repeated [`LayerExecutor::run_with_scratch`]
+/// invocations: the LIF membrane state, the compressed-input buffers and
+/// their backing allocations. A worker that evaluates many layers (or many
+/// batch samples) keeps one `LayerScratch` and avoids re-allocating these
+/// per layer once the buffers reach steady-state capacity.
+#[derive(Debug, Clone, Default)]
+pub struct LayerScratch {
+    lif: LifState,
+    ifmap: CompressedIfmap,
+    fc: CompressedFcInput,
+}
+
+impl LayerScratch {
+    /// Fresh, empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Kernel dispatch bound to a code variant and storage format.
+///
+/// `LayerExecutor` is stateless (variant + format only); reusable buffers
+/// live in a caller-owned [`LayerScratch`].
+///
+/// # Example
+///
+/// ```
+/// use snitch_arch::fp::FpFormat;
+/// use snitch_arch::{ClusterConfig, CostModel};
+/// use snitch_sim::ClusterModel;
+/// use spikestream_kernels::{KernelVariant, LayerExecutor, LayerInput, LayerScratch};
+/// use spikestream_snn::neuron::LifParams;
+/// use spikestream_snn::tensor::{SpikeMap, TensorShape};
+/// use spikestream_snn::{ConvSpec, Layer, LayerKind};
+///
+/// let spec = ConvSpec {
+///     input: TensorShape::new(4, 4, 4),
+///     out_channels: 4,
+///     kh: 3,
+///     kw: 3,
+///     stride: 1,
+///     padding: 1,
+///     pool: false,
+/// };
+/// let layer = Layer::new("conv", LayerKind::Conv(spec), LifParams::new(0.5, 0.25));
+/// let mut spikes = SpikeMap::silent(spec.padded_input());
+/// spikes.set(2, 2, 1, true);
+///
+/// let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
+/// let mut scratch = LayerScratch::new();
+/// let executor = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16);
+/// let exec = executor.run_with_scratch(&mut cluster, &layer, LayerInput::Spikes(&spikes), &mut scratch);
+/// assert_eq!(exec.input_spikes, 1);
+/// assert!(cluster.finish_phase("conv").cycles > 0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerExecutor {
     variant: KernelVariant,
@@ -73,6 +126,10 @@ impl LayerExecutor {
 
     /// Run one layer on the cluster, dispatching to the matching kernel.
     ///
+    /// Allocates fresh scratch buffers; hot loops should hold a
+    /// [`LayerScratch`] and call [`LayerExecutor::run_with_scratch`]
+    /// instead.
+    ///
     /// # Panics
     ///
     /// Panics if the input representation does not fit the layer (a dense
@@ -84,11 +141,28 @@ impl LayerExecutor {
         layer: &Layer,
         input: LayerInput<'_>,
     ) -> LayerExecution {
+        self.run_with_scratch(cluster, layer, input, &mut LayerScratch::new())
+    }
+
+    /// Run one layer on the cluster, reusing the caller's scratch buffers
+    /// for the LIF state and the compressed input (no allocation once the
+    /// buffers reached steady-state capacity).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`LayerExecutor::run`].
+    pub fn run_with_scratch(
+        &self,
+        cluster: &mut ClusterModel,
+        layer: &Layer,
+        input: LayerInput<'_>,
+        scratch: &mut LayerScratch,
+    ) -> LayerExecution {
         match (&layer.kind, input) {
             (LayerKind::Conv(spec), LayerInput::Image(image)) => {
-                let mut state = LifState::new(spec.conv_output().len());
+                scratch.lif.reset_to(spec.conv_output().len());
                 let kernel = DenseEncodingKernel::new(self.variant, self.format);
-                let out = kernel.run(cluster, layer, image, &mut state);
+                let out = kernel.run(cluster, layer, image, &mut scratch.lif);
                 let padded = spec.padded_input();
                 LayerExecution {
                     input_rate: 1.0,
@@ -100,33 +174,32 @@ impl LayerExecutor {
                 }
             }
             (LayerKind::Conv(spec), LayerInput::Spikes(spikes)) => {
-                let compressed = CompressedIfmap::from_spike_map(spikes);
-                let mut state = LifState::new(spec.conv_output().len());
+                scratch.ifmap.refill_from(spikes);
+                scratch.lif.reset_to(spec.conv_output().len());
                 let kernel = ConvKernel::new(self.variant, self.format);
-                let out = kernel.run(cluster, layer, &compressed, &mut state);
-                let rate = compressed.firing_rate();
+                let out = kernel.run(cluster, layer, &scratch.ifmap, &mut scratch.lif);
+                let rate = scratch.ifmap.firing_rate();
                 LayerExecution {
                     input_rate: rate,
-                    input_spikes: compressed.spike_count() as u64,
+                    input_spikes: scratch.ifmap.spike_count() as u64,
                     synops: spec.dense_synops() as f64 * rate,
-                    csr_footprint_bytes: compressed.footprint_bytes() as f64,
-                    aer_footprint_bytes: (compressed.spike_count() * AerEvent::BYTES) as f64,
+                    csr_footprint_bytes: scratch.ifmap.footprint_bytes() as f64,
+                    aer_footprint_bytes: (scratch.ifmap.spike_count() * AerEvent::BYTES) as f64,
                     output_spikes: out.output.count_spikes() as u64,
                 }
             }
             (LayerKind::Linear(spec), LayerInput::Spikes(spikes)) => {
-                let flat: Vec<bool> = spikes.data().to_vec();
-                let compressed = CompressedFcInput::from_spikes(&flat);
-                let mut state = LifState::new(spec.out_features);
+                scratch.fc.refill_from(spikes.data());
+                scratch.lif.reset_to(spec.out_features);
                 let kernel = FcKernel::new(self.variant, self.format);
-                let out = kernel.run(cluster, layer, &compressed, &mut state);
+                let out = kernel.run(cluster, layer, &scratch.fc, &mut scratch.lif);
                 LayerExecution {
-                    input_rate: compressed.spike_count() as f64 / spec.in_features as f64,
-                    input_spikes: compressed.spike_count() as u64,
-                    synops: spec.dense_synops() as f64 * compressed.spike_count() as f64
+                    input_rate: scratch.fc.spike_count() as f64 / spec.in_features as f64,
+                    input_spikes: scratch.fc.spike_count() as u64,
+                    synops: spec.dense_synops() as f64 * scratch.fc.spike_count() as f64
                         / spec.in_features as f64,
-                    csr_footprint_bytes: compressed.footprint_bytes() as f64,
-                    aer_footprint_bytes: (compressed.spike_count() * AerEvent::BYTES) as f64,
+                    csr_footprint_bytes: scratch.fc.footprint_bytes() as f64,
+                    aer_footprint_bytes: (scratch.fc.spike_count() * AerEvent::BYTES) as f64,
                     output_spikes: out.spikes.iter().filter(|&&s| s).count() as u64,
                 }
             }
@@ -227,6 +300,41 @@ mod tests {
         assert_eq!(exec.output_spikes, direct_out.output.count_spikes() as u64);
         assert_eq!(exec_stats.cycles, direct_stats.cycles);
         assert_eq!(exec_stats.totals.int_instrs, direct_stats.totals.int_instrs);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_buffers() {
+        let (layer, spec) = conv_layer(true);
+        let executor = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16);
+        let mut scratch = LayerScratch::new();
+        // Prime the scratch with a differently-shaped layer invocation.
+        let warmup = random_spikes(spec.padded_input(), 0.5, 1);
+        let mut warm_cluster = cluster();
+        executor.run_with_scratch(
+            &mut warm_cluster,
+            &layer,
+            LayerInput::Spikes(&warmup),
+            &mut scratch,
+        );
+
+        for seed in [2, 3, 4] {
+            let spikes = random_spikes(spec.padded_input(), 0.2, seed);
+            let mut fresh_cluster = cluster();
+            let fresh = executor.run(&mut fresh_cluster, &layer, LayerInput::Spikes(&spikes));
+            let mut reused_cluster = cluster();
+            let reused = executor.run_with_scratch(
+                &mut reused_cluster,
+                &layer,
+                LayerInput::Spikes(&spikes),
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused);
+            assert_eq!(
+                fresh_cluster.finish_phase("conv"),
+                reused_cluster.finish_phase("conv"),
+                "identical timing regardless of buffer reuse"
+            );
+        }
     }
 
     #[test]

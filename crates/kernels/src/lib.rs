@@ -35,7 +35,7 @@ pub mod tiling;
 pub use analytic::{AnalyticLayerModel, LayerTiming};
 pub use conv::{ConvKernel, ConvKernelOutput};
 pub use dense::DenseEncodingKernel;
-pub use executor::{LayerExecution, LayerExecutor, LayerInput};
+pub use executor::{LayerExecution, LayerExecutor, LayerInput, LayerScratch};
 pub use fc::FcKernel;
 pub use schedule::WorkStealingScheduler;
 pub use tiling::{LayerTilePlan, TilingPlanner};

@@ -21,6 +21,11 @@
 //! [`ClusterModel`] aggregates per-core counters into a
 //! [`PhaseStats`], accounting for compute/DMA overlap.
 //!
+//! Above the single cluster, [`shard`] models a *fleet* of N independent
+//! cluster replicas ([`ClusterShard`]) with least-loaded sample dispatch
+//! ([`ShardSet`]) — the substrate of the sharded batch driver in
+//! `spikestream-core`.
+//!
 //! # Example
 //!
 //! ```
@@ -38,7 +43,9 @@
 pub mod cluster;
 pub mod core_model;
 pub mod counters;
+pub mod shard;
 
 pub use cluster::{ClusterModel, PhaseStats};
 pub use core_model::WorkerCoreModel;
 pub use counters::{PerfCounters, StallCause};
+pub use shard::{ClusterShard, ShardSet};

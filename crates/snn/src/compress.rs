@@ -33,20 +33,47 @@ pub struct CompressedIfmap {
 
 impl CompressedIfmap {
     /// Compress a binary spike map.
+    ///
+    /// ```
+    /// use spikestream_snn::tensor::{SpikeMap, TensorShape};
+    /// use spikestream_snn::CompressedIfmap;
+    ///
+    /// let mut map = SpikeMap::silent(TensorShape::new(2, 2, 4));
+    /// map.set(0, 1, 3, true);
+    /// let csr = CompressedIfmap::from_spike_map(&map);
+    /// assert_eq!(csr.spike_count(), 1);
+    /// assert_eq!(csr.active_at(0, 1), &[3]);
+    /// assert_eq!(csr.decompress(), map);
+    /// ```
     pub fn from_spike_map(map: &SpikeMap) -> Self {
+        let mut out = CompressedIfmap {
+            shape: map.shape(),
+            c_idcs: Vec::new(),
+            s_ptr: Vec::with_capacity(map.shape().h * map.shape().w + 1),
+        };
+        out.refill_from(map);
+        out
+    }
+
+    /// Recompress `map` into this buffer, reusing the index and pointer
+    /// allocations — the batch driver's per-worker scratch path (no
+    /// per-sample allocation once the vectors reached steady-state
+    /// capacity).
+    pub fn refill_from(&mut self, map: &SpikeMap) {
         let shape = map.shape();
-        let mut c_idcs = Vec::new();
-        let mut s_ptr = Vec::with_capacity(shape.h * shape.w + 1);
-        s_ptr.push(0);
+        self.shape = shape;
+        self.c_idcs.clear();
+        self.s_ptr.clear();
+        self.s_ptr.reserve(shape.h * shape.w + 1);
+        self.s_ptr.push(0);
         for h in 0..shape.h {
             for w in 0..shape.w {
                 for c in map.active_channels(h, w) {
-                    c_idcs.push(c as u16);
+                    self.c_idcs.push(c as u16);
                 }
-                s_ptr.push(c_idcs.len() as u32);
+                self.s_ptr.push(self.c_idcs.len() as u32);
             }
         }
-        CompressedIfmap { shape, c_idcs, s_ptr }
     }
 
     /// Reconstruct the dense binary spike map.
@@ -112,6 +139,16 @@ impl CompressedIfmap {
     }
 }
 
+impl Default for CompressedIfmap {
+    /// An empty `0x0x0` ifmap — the scratch seed for [`refill_from`]
+    /// (matches `from_spike_map` on an empty map).
+    ///
+    /// [`refill_from`]: CompressedIfmap::refill_from
+    fn default() -> Self {
+        CompressedIfmap { shape: TensorShape::new(0, 0, 0), c_idcs: Vec::new(), s_ptr: vec![0] }
+    }
+}
+
 /// Compressed input of a fully connected layer: a single index array.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompressedFcInput {
@@ -122,13 +159,34 @@ pub struct CompressedFcInput {
 impl CompressedFcInput {
     /// Compress a flat binary input vector.
     ///
+    /// ```
+    /// use spikestream_snn::CompressedFcInput;
+    ///
+    /// let c = CompressedFcInput::from_spikes(&[false, true, true, false]);
+    /// assert_eq!(c.idcs(), &[1, 2]);
+    /// assert_eq!(c.decompress(), vec![false, true, true, false]);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `spikes.len()` exceeds `u16::MAX + 1` addressable inputs.
     pub fn from_spikes(spikes: &[bool]) -> Self {
+        let mut out = CompressedFcInput { in_features: 0, idcs: Vec::new() };
+        out.refill_from(spikes);
+        out
+    }
+
+    /// Recompress `spikes` into this buffer, reusing the index allocation
+    /// (see [`CompressedIfmap::refill_from`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes.len()` exceeds `u16::MAX + 1` addressable inputs.
+    pub fn refill_from(&mut self, spikes: &[bool]) {
         assert!(spikes.len() <= u16::MAX as usize + 1, "FC input too large for 16-bit indices");
-        let idcs = spikes.iter().enumerate().filter_map(|(i, &s)| s.then_some(i as u16)).collect();
-        CompressedFcInput { in_features: spikes.len(), idcs }
+        self.in_features = spikes.len();
+        self.idcs.clear();
+        self.idcs.extend(spikes.iter().enumerate().filter_map(|(i, &s)| s.then_some(i as u16)));
     }
 
     /// Reconstruct the dense boolean vector.
@@ -161,16 +219,34 @@ impl CompressedFcInput {
     }
 }
 
+impl Default for CompressedFcInput {
+    /// An empty zero-feature input — the scratch seed for [`refill_from`]
+    /// (matches `from_spikes` on an empty slice).
+    ///
+    /// [`refill_from`]: CompressedFcInput::refill_from
+    fn default() -> Self {
+        CompressedFcInput { in_features: 0, idcs: Vec::new() }
+    }
+}
+
 /// One address-event: absolute coordinates plus a timestamp.
+///
+/// All four fields are 16 bits wide, matching the fixed event words of the
+/// neuromorphic interfaces the paper compares against. The format can
+/// therefore only address feature maps with `h`, `w` and `c` each at most
+/// `u16::MAX + 1` (65 536) positions, and timesteps up to `u16::MAX`;
+/// [`AerFrame::from_spike_map`] debug-asserts those limits instead of
+/// silently truncating coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AerEvent {
-    /// Spatial row of the spiking neuron.
+    /// Spatial row of the spiking neuron (limited to `u16`; see the type
+    /// docs).
     pub y: u16,
-    /// Spatial column of the spiking neuron.
+    /// Spatial column of the spiking neuron (limited to `u16`).
     pub x: u16,
-    /// Channel of the spiking neuron.
+    /// Channel of the spiking neuron (limited to `u16`).
     pub channel: u16,
-    /// Timestep at which the spike occurred.
+    /// Timestep at which the spike occurred (limited to `u16`).
     pub timestamp: u16,
 }
 
@@ -188,8 +264,24 @@ pub struct AerFrame {
 
 impl AerFrame {
     /// Encode a spike map at the given timestep.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that every coordinate of `map` fits the 16-bit event
+    /// fields (`h`, `w`, `c` at most `u16::MAX + 1`); larger maps would
+    /// silently wrap their coordinates in release builds, so they are
+    /// rejected while debug assertions are on.
     pub fn from_spike_map(map: &SpikeMap, timestamp: u16) -> Self {
         let shape = map.shape();
+        debug_assert!(
+            shape.h <= u16::MAX as usize + 1
+                && shape.w <= u16::MAX as usize + 1
+                && shape.c <= u16::MAX as usize + 1,
+            "spike map {}x{}x{} exceeds the 16-bit AER coordinate range",
+            shape.h,
+            shape.w,
+            shape.c
+        );
         let mut events = Vec::new();
         for h in 0..shape.h {
             for w in 0..shape.w {
@@ -303,6 +395,43 @@ mod tests {
         assert_eq!(c.spike_count(), 3);
         assert_eq!(c.decompress(), spikes);
         assert_eq!(c.footprint_bytes(), 3 * 2 + 4);
+    }
+
+    #[test]
+    fn refill_reuses_buffers_and_matches_fresh_compression() {
+        let map = sample_map();
+        let mut reused = CompressedIfmap::from_spike_map(&map);
+        let big_shape = TensorShape::new(5, 5, 8);
+        let mut big = SpikeMap::silent(big_shape);
+        big.set(4, 4, 7, true);
+        reused.refill_from(&big);
+        assert_eq!(reused, CompressedIfmap::from_spike_map(&big));
+        reused.refill_from(&map);
+        assert_eq!(reused, CompressedIfmap::from_spike_map(&map));
+
+        let mut fc = CompressedFcInput::from_spikes(&[true; 8]);
+        fc.refill_from(&[false, true, false]);
+        assert_eq!(fc, CompressedFcInput::from_spikes(&[false, true, false]));
+        assert_eq!(fc.in_features(), 3);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug assertion only")]
+    #[should_panic(expected = "16-bit AER coordinate range")]
+    fn aer_rejects_maps_beyond_the_u16_coordinate_range() {
+        // 65 537 rows: row 65 536 would wrap to y = 0 in the event word.
+        let map = SpikeMap::silent(TensorShape::new(u16::MAX as usize + 2, 1, 1));
+        let _ = AerFrame::from_spike_map(&map, 0);
+    }
+
+    #[test]
+    fn aer_accepts_the_largest_addressable_map() {
+        let mut map = SpikeMap::silent(TensorShape::new(u16::MAX as usize + 1, 1, 1));
+        map.set(u16::MAX as usize, 0, 0, true);
+        let frame = AerFrame::from_spike_map(&map, u16::MAX);
+        assert_eq!(frame.events().len(), 1);
+        assert_eq!(frame.events()[0].y, u16::MAX);
+        assert_eq!(frame.decompress(), map);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * a synthetic workload generator that reproduces the per-layer firing
 //!   statistics of the paper's CIFAR-10 evaluation ([`workload`]), and
 //! * a functional reference inference engine used as ground truth for the
-//!   kernel implementations ([`reference`]).
+//!   kernel implementations ([`reference`](mod@reference)).
 
 pub mod compress;
 pub mod encoding;

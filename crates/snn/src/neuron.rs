@@ -60,6 +60,13 @@ pub struct LifState {
     membrane: Vec<f32>,
 }
 
+impl Default for LifState {
+    /// An empty population (scratch seed for [`LifState::reset_to`]).
+    fn default() -> Self {
+        LifState::new(0)
+    }
+}
+
 impl LifState {
     /// A resting population of `n` neurons.
     pub fn new(n: usize) -> Self {
@@ -122,6 +129,14 @@ impl LifState {
     /// Reset all membranes to the resting potential.
     pub fn reset(&mut self) {
         self.membrane.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Reset to a resting population of `n` neurons, reusing the existing
+    /// allocation when its capacity allows (the batch driver's per-worker
+    /// scratch path).
+    pub fn reset_to(&mut self, n: usize) {
+        self.membrane.clear();
+        self.membrane.resize(n, 0.0);
     }
 }
 

@@ -1,0 +1,284 @@
+//! `spikestream` — the sharded batch-inference driver CLI.
+//!
+//! Three subcommands, all driven by declarative scenario files
+//! (`examples/scenarios/*.toml`):
+//!
+//! * `run` — run one scenario through the sharded batch driver and print
+//!   the per-layer report plus the fleet statistics (or `--json`);
+//! * `bench` — sweep the same scenario over several shard counts and
+//!   report makespan, utilization, imbalance and effective speedup;
+//! * `compare` — run the scenario under both code variants (baseline vs
+//!   SpikeStream) and print per-layer and end-to-end speedups.
+
+use std::process::ExitCode;
+
+use spikestream::{InferenceReport, Scenario};
+
+const USAGE: &str = "\
+spikestream — sharded batch-inference driver for the SpikeStream reproduction
+
+USAGE:
+    spikestream run <scenario.toml> [--shards N] [--batch N] [--json]
+    spikestream bench <scenario.toml> [--shards N1,N2,...]
+    spikestream compare <scenario.toml> [--shards N]
+    spikestream help
+
+Scenario files are a strict TOML subset; see examples/scenarios/ for
+checked-in examples and `spikestream help` for the key reference.
+
+OPTIONS:
+    --shards N        Override the scenario's shard count
+                      (for bench: comma-separated list, default 1,2,4,8)
+    --batch N         Override the scenario's batch size
+    --json            Print the deterministic report JSON instead of tables
+";
+
+const KEY_REFERENCE: &str = "\
+Scenario keys (all optional except the [scenario] header):
+    name    = \"string\"         scenario name, used in output headers
+    network = \"svgg11\"         svgg11 | tiny-cnn
+    variant = \"spikestream\"    baseline | spikestream
+    format  = \"fp16\"           fp64 | fp32 | fp16 | fp8
+    timing  = \"analytic\"       analytic | cycle-level
+    batch   = 128               batch samples (>= 1)
+    seed    = 0xC1FA            workload seed (decimal or 0x hex)
+    shards  = 1                 simulated cluster shards (>= 1)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command {
+        "run" => cmd_run(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}\n{KEY_REFERENCE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed common flags of every subcommand.
+struct Options {
+    scenario: Scenario,
+    shards_list: Option<Vec<usize>>,
+    json: bool,
+}
+
+/// Which subcommand the shared flag parser is serving; gates the flags
+/// that only some subcommands support instead of silently ignoring them.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Run,
+    Bench,
+    Compare,
+}
+
+fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
+    let mut path = None;
+    let mut shards_list = None;
+    let mut batch = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let value = it.next().ok_or("--shards needs a value")?;
+                let list: Result<Vec<usize>, _> =
+                    value.split(',').map(|v| v.trim().parse::<usize>()).collect();
+                let list = list.map_err(|_| format!("bad --shards value `{value}`"))?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err(format!("--shards entries must be >= 1, got `{value}`"));
+                }
+                if command != Command::Bench && list.len() > 1 {
+                    return Err(format!(
+                        "--shards takes a single value here (lists are for `bench`), got `{value}`"
+                    ));
+                }
+                shards_list = Some(list);
+            }
+            "--batch" => {
+                let value = it.next().ok_or("--batch needs a value")?;
+                let parsed: usize =
+                    value.parse().map_err(|_| format!("bad --batch value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--batch must be >= 1".into());
+                }
+                batch = Some(parsed);
+            }
+            "--json" => {
+                if command != Command::Run {
+                    return Err("--json is only supported by `run`".into());
+                }
+                json = true;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let path = path.ok_or_else(|| format!("missing scenario file\n\n{USAGE}"))?;
+    let mut scenario =
+        Scenario::from_file(std::path::Path::new(&path)).map_err(|e| e.to_string())?;
+    if let Some(batch) = batch {
+        scenario.config.batch = batch;
+    }
+    if let Some(list) = &shards_list {
+        scenario.shards = list[0];
+    }
+    Ok(Options { scenario, shards_list, json })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(Command::Run, args)?;
+    let report = opts.scenario.run();
+    if opts.json {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
+    println!(
+        "scenario `{}`: {} · {} · {} · batch {} · {} shard(s)",
+        opts.scenario.name,
+        report.network,
+        report.variant,
+        report.format,
+        report.batch,
+        opts.scenario.shards,
+    );
+    print_layer_table(&report);
+    print_shard_table(&report);
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(Command::Bench, args)?;
+    let shard_counts = opts.shards_list.unwrap_or_else(|| vec![1, 2, 4, 8]);
+    println!(
+        "scenario `{}`: shard sweep over batch {}",
+        opts.scenario.name, opts.scenario.config.batch
+    );
+    println!(
+        "{:>7} {:>16} {:>10} {:>10} {:>12} {:>12}",
+        "shards", "makespan [cyc]", "speedup", "imbalance", "util(min)", "util(max)"
+    );
+    let mut aggregate_json: Option<String> = None;
+    for &shards in &shard_counts {
+        let mut scenario = opts.scenario.clone();
+        scenario.shards = shards;
+        let report = scenario.run();
+        let fleet = report.shards.as_ref().expect("sharded runs carry fleet stats");
+        let util_min = fleet.shards.iter().map(|s| s.utilization).fold(f64::INFINITY, f64::min);
+        let util_max = fleet.shards.iter().map(|s| s.utilization).fold(0.0, f64::max);
+        println!(
+            "{:>7} {:>16.0} {:>10.2} {:>10.3} {:>12.3} {:>12.3}",
+            shards, fleet.makespan_cycles, fleet.batch_speedup, fleet.imbalance, util_min, util_max
+        );
+        let json = report.without_shard_stats().to_json();
+        match &aggregate_json {
+            None => aggregate_json = Some(json),
+            Some(reference) => {
+                if *reference != json {
+                    return Err(format!(
+                        "aggregate report changed between shard counts (at {shards} shards)"
+                    ));
+                }
+            }
+        }
+    }
+    println!("aggregate report bit-identical across shard counts: yes");
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    use spikestream::KernelVariant;
+    let opts = parse_options(Command::Compare, args)?;
+    let mut baseline_scenario = opts.scenario.clone();
+    baseline_scenario.config.variant = KernelVariant::Baseline;
+    let mut streamed_scenario = opts.scenario.clone();
+    streamed_scenario.config.variant = KernelVariant::SpikeStream;
+
+    let baseline = baseline_scenario.run();
+    let streamed = streamed_scenario.run();
+    println!(
+        "scenario `{}`: Baseline vs SpikeStream · {} · {} · batch {} · {} shard(s)",
+        opts.scenario.name, baseline.network, baseline.format, baseline.batch, opts.scenario.shards,
+    );
+    println!(
+        "{:<10} {:>16} {:>16} {:>9} {:>12}",
+        "layer", "base [cyc]", "stream [cyc]", "speedup", "energy gain"
+    );
+    for (b, s) in baseline.layers.iter().zip(streamed.layers.iter()) {
+        println!(
+            "{:<10} {:>16.0} {:>16.0} {:>8.2}x {:>11.2}x",
+            b.name,
+            b.cycles,
+            s.cycles,
+            b.cycles / s.cycles.max(1.0),
+            b.energy_j / s.energy_j.max(f64::MIN_POSITIVE),
+        );
+    }
+    println!(
+        "{:<10} {:>16.0} {:>16.0} {:>8.2}x {:>11.2}x",
+        "total",
+        baseline.total_cycles(),
+        streamed.total_cycles(),
+        streamed.speedup_over(&baseline),
+        streamed.energy_gain_over(&baseline),
+    );
+    Ok(())
+}
+
+fn print_layer_table(report: &InferenceReport) {
+    println!(
+        "{:<10} {:>14} {:>8} {:>8} {:>10} {:>12} {:>10}",
+        "layer", "cycles", "util", "ipc", "rate", "synops", "power [W]"
+    );
+    for layer in &report.layers {
+        println!(
+            "{:<10} {:>14.0} {:>8.3} {:>8.3} {:>10.4} {:>12.0} {:>10.3}",
+            layer.name,
+            layer.cycles,
+            layer.fpu_utilization,
+            layer.ipc,
+            layer.input_firing_rate,
+            layer.synops,
+            layer.power_w,
+        );
+    }
+    println!(
+        "total: {:.0} cycles · {:.3} ms · {:.3} mJ · avg util {:.3}",
+        report.total_cycles(),
+        report.total_seconds() * 1e3,
+        report.total_energy_j() * 1e3,
+        report.average_utilization(),
+    );
+}
+
+fn print_shard_table(report: &InferenceReport) {
+    let Some(fleet) = &report.shards else { return };
+    println!(
+        "fleet: makespan {:.0} cycles · speedup {:.2}x · imbalance {:.3}",
+        fleet.makespan_cycles, fleet.batch_speedup, fleet.imbalance
+    );
+    println!("{:>6} {:>9} {:>16} {:>12}", "shard", "samples", "busy [cyc]", "utilization");
+    for shard in &fleet.shards {
+        println!(
+            "{:>6} {:>9} {:>16.0} {:>12.3}",
+            shard.shard, shard.samples, shard.busy_cycles, shard.utilization
+        );
+    }
+}

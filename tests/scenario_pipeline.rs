@@ -1,0 +1,67 @@
+//! The checked-in scenario files must stay parseable and runnable — they
+//! are the CLI's public surface and the CI smoke test's input.
+
+use std::path::Path;
+
+use spikestream::{KernelVariant, NetworkChoice, Scenario, TimingModel};
+
+fn scenario_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios")
+}
+
+#[test]
+fn every_checked_in_scenario_parses() {
+    let mut found = 0;
+    for entry in std::fs::read_dir(scenario_dir()).expect("examples/scenarios exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let scenario = Scenario::from_file(&path)
+            .unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+        assert_ne!(scenario.name, "unnamed", "{} should set a name", path.display());
+        found += 1;
+    }
+    assert!(found >= 3, "expected at least three checked-in scenarios, found {found}");
+}
+
+#[test]
+fn the_smoke_scenario_is_cycle_level_and_fast() {
+    let scenario = Scenario::from_file(&scenario_dir().join("smoke.toml")).unwrap();
+    assert_eq!(scenario.network, NetworkChoice::TinyCnn);
+    assert_eq!(scenario.config.timing, TimingModel::CycleLevel);
+    assert!(scenario.config.batch <= 16, "smoke batch stays CI-sized");
+
+    let report = scenario.run();
+    assert_eq!(report.layers.len(), 3);
+    assert!(report.total_cycles() > 0.0);
+    let fleet = report.shards.expect("sharded run carries fleet stats");
+    assert_eq!(fleet.shards.iter().map(|s| s.samples).sum::<u64>(), scenario.config.batch as u64);
+}
+
+#[test]
+fn the_headline_scenario_matches_the_paper_configuration() {
+    let scenario = Scenario::from_file(&scenario_dir().join("svgg11_fp16.toml")).unwrap();
+    assert_eq!(scenario.network, NetworkChoice::Svgg11);
+    assert_eq!(scenario.config.variant, KernelVariant::SpikeStream);
+    assert_eq!(scenario.config.batch, 128);
+    assert_eq!(scenario.shards, 8);
+
+    // The full headline run: sharded aggregate == sequential reference,
+    // which is the CLI acceptance property (`spikestream run --shards 8`).
+    let sharded = scenario.run();
+    let sequential = scenario.run_sequential();
+    assert!(sharded.to_json().contains("\"per_shard\""));
+    assert_eq!(sharded.without_shard_stats().to_json(), sequential.to_json());
+}
+
+#[test]
+fn scenario_overrides_compose_like_the_cli_flags() {
+    let mut scenario = Scenario::from_file(&scenario_dir().join("svgg11_fp16.toml")).unwrap();
+    // What `spikestream run --batch 16 --shards 3` does to the scenario.
+    scenario.config.batch = 16;
+    scenario.shards = 3;
+    let report = scenario.run();
+    assert_eq!(report.batch, 16);
+    assert_eq!(report.shards.expect("fleet stats").shards.len(), 3);
+}
