@@ -65,6 +65,13 @@ pub struct CostModel {
     /// below one element per cycle; this single constant is the main
     /// calibration knob for the SpikeStream utilization ceiling.
     pub indirect_stream_interval: f64,
+    /// Expected extra stall cycles per scratchpad access caused by
+    /// contention with the other cores of the cluster. The value is a
+    /// calibration constant: with eight cores issuing roughly two stream
+    /// accesses per cycle into 32 banks, a few percent of accesses lose
+    /// arbitration. Shared by the cycle-level core model and the analytic
+    /// cost integration so both charge the same interference.
+    pub cross_conflict_per_access: f64,
 }
 
 impl CostModel {
@@ -91,6 +98,7 @@ impl CostModel {
             stream_startup: 4,
             affine_stream_interval: 1.0,
             indirect_stream_interval: 1.55,
+            cross_conflict_per_access: 0.04,
         }
     }
 

@@ -1,0 +1,91 @@
+//! Stream-program IR overhead benchmark.
+//!
+//! Guards against lowering-overhead regressions: per representative layer
+//! it measures (a) lowering alone (emitting the exact stream program plus
+//! the functional math), (b) lowering plus cycle-level interpretation —
+//! the full per-layer cost of the post-IR cycle backend, directly
+//! comparable to the pre-IR `kernel_microbench` numbers where the kernels
+//! drove the core models without an intermediate program — and (c) the
+//! symbolic lowering plus cost integration that one analytic-backend layer
+//! evaluation costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spikestream::{ClusterConfig, CostModel, FpFormat, KernelVariant};
+use spikestream_ir::CostIntegrator;
+use spikestream_kernels::ConvKernel;
+use spikestream_snn::neuron::LifParams;
+use spikestream_snn::tensor::{SpikeMap, TensorShape};
+use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState};
+use std::time::Duration;
+
+fn setup() -> (Layer, ConvSpec, CompressedIfmap) {
+    let spec = ConvSpec {
+        input: TensorShape::new(10, 10, 64),
+        out_channels: 64,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        pool: false,
+    };
+    let mut layer = Layer::new("bench", LayerKind::Conv(spec), LifParams::new(0.5, 0.3));
+    let mut rng = StdRng::seed_from_u64(7);
+    layer.randomize_weights(&mut rng, 0.1);
+    let shape = spec.padded_input();
+    let mut map = SpikeMap::silent(shape);
+    for h in 1..shape.h - 1 {
+        for w in 1..shape.w - 1 {
+            for c in 0..shape.c {
+                if rng.gen_bool(0.25) {
+                    map.set(h, w, c, true);
+                }
+            }
+        }
+    }
+    (layer, spec, CompressedIfmap::from_spike_map(&map))
+}
+
+fn bench(c: &mut Criterion) {
+    let (layer, spec, input) = setup();
+    let config = ClusterConfig::default();
+    let mut group = c.benchmark_group("ir_lowering");
+
+    for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
+        let kernel = ConvKernel::new(variant, FpFormat::Fp16);
+
+        group.bench_function(format!("lower_only/{variant}"), |b| {
+            b.iter(|| {
+                let mut state = LifState::new(spec.conv_output().len());
+                kernel.lower(&config, &layer, &input, &mut state).0.work_items()
+            })
+        });
+
+        group.bench_function(format!("lower_and_interpret/{variant}"), |b| {
+            b.iter(|| {
+                let mut cluster =
+                    snitch_sim::ClusterModel::new(config.clone(), CostModel::default());
+                let mut state = LifState::new(spec.conv_output().len());
+                kernel.run(&mut cluster, &layer, &input, &mut state);
+                cluster.finish_phase("bench").cycles
+            })
+        });
+
+        group.bench_function(format!("symbolic_lower_and_integrate/{variant}"), |b| {
+            let integrator = CostIntegrator::new(config.clone(), CostModel::default());
+            b.iter(|| {
+                let program = kernel.lower_symbolic(&config, "bench", &spec, 0.25, 0.2);
+                integrator.integrate(&program).compute_cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

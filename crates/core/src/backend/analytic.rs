@@ -1,17 +1,28 @@
-//! The closed-form analytic backend.
+//! The analytic backend: symbolic cost integration over the kernel IR.
+//!
+//! Every layer is lowered by the *same emitters* the cycle-level backend
+//! uses — just symbolically, from the sample's expected firing rates
+//! instead of a materialized spike workload — and the resulting
+//! [`StreamProgram`](spikestream_ir::StreamProgram) is priced by the
+//! [`CostIntegrator`]. There is no second copy of the kernel loop math
+//! anywhere: analytic and cycle-level agree by construction, and the
+//! `ir_equivalence` property tests pin the integrator against the
+//! interpreter.
 
+use snitch_arch::fp::FpFormat;
 use spikestream_energy::Activity;
-use spikestream_kernels::{AnalyticLayerModel, LayerTiming};
+use spikestream_ir::{CostIntegrator, ProgramCost, StreamProgram};
+use spikestream_kernels::{ConvKernel, FcKernel, KernelVariant, PoolKernel};
 use spikestream_snn::compress::INDEX_BYTES;
-use spikestream_snn::{AerEvent, LayerKind};
+use spikestream_snn::{AerEvent, Layer, LayerKind};
 
 use super::{ExecutionBackend, LayerSample, SampleContext};
 
-/// Closed-form layer-timing backend (fast; used for full-batch figure
-/// runs). Layer runtimes come from the
-/// [`AnalyticLayerModel`](spikestream_kernels::AnalyticLayerModel); spike
-/// counts and footprints are the expected values implied by each sample's
-/// jittered firing rate.
+/// Symbolic layer-timing backend (fast; used for full-batch figure runs).
+/// Layer runtimes come from integrating the cost model over the same
+/// stream programs the cycle-level backend interprets; spike counts and
+/// footprints are the expected values implied by each sample's jittered
+/// firing rate.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AnalyticBackend;
 
@@ -27,65 +38,124 @@ impl ExecutionBackend for AnalyticBackend {
     }
 
     fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
-        let model = AnalyticLayerModel::new(ctx.cluster.clone(), ctx.cost.clone());
+        let integrator = CostIntegrator::new(ctx.cluster.clone(), ctx.cost.clone());
         let n = ctx.network.len();
         out.reserve(n);
         for (idx, layer) in ctx.network.layers().iter().enumerate() {
             let input_rate = ctx.sample_rate(idx, sample);
             let output_rate = ctx.sample_rate((idx + 1).min(n - 1), sample);
-            let timing = model.layer(
-                &layer.kind,
-                layer.encodes_input,
+            let program = lower_layer(
+                ctx,
+                layer,
                 ctx.config.variant,
                 ctx.config.format,
                 input_rate,
                 output_rate,
             );
-            out.push(layer_sample(ctx, &layer.kind, idx, input_rate, &timing));
+            let cost = integrator.integrate(&program);
+            out.push(layer_sample(ctx, layer, input_rate, &cost));
         }
+    }
+}
+
+/// Lower one layer symbolically through its kernel emitter.
+fn lower_layer(
+    ctx: &SampleContext<'_>,
+    layer: &Layer,
+    variant: KernelVariant,
+    format: FpFormat,
+    input_rate: f64,
+    output_rate: f64,
+) -> StreamProgram {
+    match &layer.kind {
+        LayerKind::Conv(spec) if layer.encodes_input => {
+            spikestream_kernels::DenseEncodingKernel::new(variant, format).lower_symbolic(
+                ctx.cluster,
+                &layer.name,
+                spec,
+                output_rate,
+            )
+        }
+        LayerKind::Conv(spec) => ConvKernel::new(variant, format).lower_symbolic(
+            ctx.cluster,
+            &layer.name,
+            spec,
+            input_rate,
+            output_rate,
+        ),
+        LayerKind::AvgPool(spec) => PoolKernel::new(variant, format).lower_symbolic(
+            ctx.cluster,
+            &layer.name,
+            spec,
+            output_rate,
+        ),
+        LayerKind::Linear(spec) => FcKernel::new(variant, format).lower_symbolic(
+            ctx.cluster,
+            &layer.name,
+            spec,
+            input_rate,
+            output_rate,
+        ),
     }
 }
 
 fn layer_sample(
     ctx: &SampleContext<'_>,
-    kind: &LayerKind,
-    idx: usize,
+    layer: &Layer,
     input_rate: f64,
-    timing: &LayerTiming,
+    cost: &ProgramCost,
 ) -> LayerSample {
-    let cores = ctx.cluster.worker_cores as u64;
     let activity = Activity {
-        cycles: timing.cycles,
-        int_instrs: timing.int_instrs * cores,
-        flops: timing.flops,
-        dma_bytes: timing.dma_bytes_in + timing.dma_bytes_out,
+        cycles: cost.compute_cycles,
+        int_instrs: cost.int_instrs.round() as u64,
+        flops: cost.flops.round() as u64,
+        dma_bytes: cost.dma_bytes_in + cost.dma_bytes_out,
         format: ctx.config.format,
     };
     let energy_j = ctx.energy.energy_j(&activity);
-    let (csr, aer) = footprints(kind, idx, input_rate);
+    // The dense-encoding special case keys on `encodes_input`, exactly like
+    // the lowering dispatch and the cycle backend's executor.
+    let encodes = layer.encodes_input;
+    let kind = &layer.kind;
+    let (csr, aer) = footprints(kind, encodes, input_rate);
+    let rate = if encodes { input_rate } else { input_rate.clamp(0.0, 1.0) };
     LayerSample {
-        cycles: timing.cycles as f64,
-        fpu_utilization: timing.fpu_utilization,
-        ipc: timing.ipc,
-        input_firing_rate: input_rate,
-        input_spikes: expected_input_spikes(kind, idx, input_rate),
-        synops: timing.synops as f64,
+        cycles: cost.compute_cycles as f64,
+        fpu_utilization: cost.fpu_utilization,
+        ipc: cost.ipc,
+        input_firing_rate: rate,
+        input_spikes: expected_input_spikes(kind, encodes, input_rate),
+        synops: expected_synops(kind, encodes, input_rate),
         energy_j,
         csr_footprint_bytes: csr,
         aer_footprint_bytes: aer,
     }
 }
 
+/// Expected synaptic operations under the sample's firing rate (the dense
+/// encoding layer consumes every pixel).
+fn expected_synops(kind: &LayerKind, encodes: bool, rate: f64) -> f64 {
+    let rate = if encodes { 1.0 } else { rate.clamp(0.0, 1.0) };
+    kind.dense_synops() as f64 * rate
+}
+
 /// Expected ifmap footprints under the sample's firing rate, matching the
 /// formats of Fig. 3a (CSR-derived vs AER).
-fn footprints(kind: &LayerKind, idx: usize, rate: f64) -> (f64, f64) {
-    let rate = if idx == 0 { 1.0 } else { rate };
+fn footprints(kind: &LayerKind, encodes: bool, rate: f64) -> (f64, f64) {
+    let rate = if encodes { 1.0 } else { rate };
     match kind {
         LayerKind::Conv(spec) => {
             let padded = spec.padded_input();
             let spikes = padded.len() as f64 * rate;
             let csr =
                 spikes * INDEX_BYTES as f64 + ((padded.h * padded.w + 1) * INDEX_BYTES) as f64;
+            let aer = spikes * AerEvent::BYTES as f64;
+            (csr, aer)
+        }
+        LayerKind::AvgPool(spec) => {
+            let spikes = spec.input.len() as f64 * rate;
+            let csr = spikes * INDEX_BYTES as f64
+                + ((spec.input.h * spec.input.w + 1) * INDEX_BYTES) as f64;
             let aer = spikes * AerEvent::BYTES as f64;
             (csr, aer)
         }
@@ -97,13 +167,14 @@ fn footprints(kind: &LayerKind, idx: usize, rate: f64) -> (f64, f64) {
 }
 
 /// Expected input spike count under the sample's firing rate. Mirrors the
-/// workload generator: the encoding layer consumes every (dense) pixel, and
-/// the silent padded border of conv inputs carries no spikes.
-fn expected_input_spikes(kind: &LayerKind, idx: usize, rate: f64) -> f64 {
+/// workload generator: the encoding layer consumes every (dense) pixel, the
+/// silent padded border of conv inputs carries no spikes, and pooling
+/// inputs have no border.
+fn expected_input_spikes(kind: &LayerKind, encodes: bool, rate: f64) -> f64 {
     match kind {
         LayerKind::Conv(spec) => {
             let padded = spec.padded_input();
-            if idx == 0 {
+            if encodes {
                 return padded.len() as f64;
             }
             let interior = if padded.h > 2 * spec.padding {
@@ -113,6 +184,7 @@ fn expected_input_spikes(kind: &LayerKind, idx: usize, rate: f64) -> f64 {
             };
             interior as f64 * rate
         }
+        LayerKind::AvgPool(spec) => spec.input.len() as f64 * rate,
         LayerKind::Linear(spec) => spec.in_features as f64 * rate,
     }
 }

@@ -7,12 +7,15 @@ use spikestream_snn::{LayerKind, WorkloadGenerator};
 
 use super::{ExecutionBackend, LayerSample, SampleContext};
 
-/// Cycle-level backend: generates a spike workload for the sample and runs
-/// every layer through the
-/// [`LayerExecutor`](spikestream_kernels::LayerExecutor) kernel dispatch on
-/// a fresh [`ClusterModel`] (slower than the analytic backend; used for
-/// validation and small batches). One [`LayerScratch`] is reused across the
-/// layers of the sample.
+/// Cycle-level backend: generates a spike workload for the sample, lowers
+/// every layer to its stream program through the
+/// [`LayerExecutor`](spikestream_kernels::LayerExecutor) kernel dispatch
+/// and interprets the programs on one reused [`ClusterModel`] (slower than
+/// the analytic backend; used for validation and small batches).
+/// [`ClusterModel::finish_phase`] resets the cores and the DMA engine
+/// between layers while the instruction cache stays warm — kernels remain
+/// resident across layers, exactly as on the real cluster. One
+/// [`LayerScratch`] is likewise reused across the layers of the sample.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CycleLevelBackend;
 
@@ -32,10 +35,10 @@ impl ExecutionBackend for CycleLevelBackend {
         let workload = generator.generate(ctx.network, sample);
         let executor = LayerExecutor::new(ctx.config.variant, ctx.config.format);
         let mut scratch = LayerScratch::new();
+        let mut cluster = ClusterModel::new(ctx.cluster.clone(), ctx.cost.clone());
         out.reserve(ctx.network.len());
 
         for (idx, layer) in ctx.network.layers().iter().enumerate() {
-            let mut cluster = ClusterModel::new(ctx.cluster.clone(), ctx.cost.clone());
             let input = match &layer.kind {
                 LayerKind::Conv(_) if layer.encodes_input => LayerInput::Image(&workload.image),
                 _ => LayerInput::Spikes(workload.spikes_for_layer(idx)),
@@ -44,14 +47,14 @@ impl ExecutionBackend for CycleLevelBackend {
             let stats = cluster.finish_phase(&layer.name);
 
             let activity = Activity {
-                cycles: stats.compute_cycles.max(1),
+                cycles: stats.compute_cycles,
                 int_instrs: stats.totals.int_instrs,
                 flops: stats.totals.flops,
                 dma_bytes: stats.dma_bytes_in + stats.dma_bytes_out,
                 format: ctx.config.format,
             };
             out.push(LayerSample {
-                cycles: stats.compute_cycles.max(1) as f64,
+                cycles: stats.compute_cycles as f64,
                 fpu_utilization: stats.fpu_utilization,
                 ipc: stats.ipc,
                 input_firing_rate: exec.input_rate,

@@ -9,11 +9,13 @@
 //! [`InferenceReport`](crate::InferenceReport).
 //!
 //! Two backends ship with the crate, mirroring the two timing models of
-//! the paper's evaluation:
+//! the paper's evaluation. Both consume the *same* stream programs
+//! emitted by the kernels (`spikestream-ir`):
 //!
-//! * [`AnalyticBackend`] — the closed-form layer model, fast enough for
-//!   full-batch figure sweeps;
-//! * [`CycleLevelBackend`] — the trace-driven cluster simulation behind a
+//! * [`AnalyticBackend`] — integrates the cost model over symbolic
+//!   lowerings, fast enough for full-batch figure sweeps;
+//! * [`CycleLevelBackend`] — interprets exact lowerings on the
+//!   trace-driven cluster simulation behind a
 //!   [`LayerExecutor`](spikestream_kernels::LayerExecutor), used for
 //!   validation.
 //!

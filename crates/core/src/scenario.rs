@@ -46,7 +46,7 @@ use snitch_arch::fp::FpFormat;
 use spikestream_kernels::KernelVariant;
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
-use spikestream_snn::{ConvSpec, FiringProfile, LinearSpec, Network, NetworkBuilder};
+use spikestream_snn::{ConvSpec, FiringProfile, LinearSpec, Network, NetworkBuilder, PoolSpec};
 
 use crate::backend::for_timing;
 use crate::engine::{Engine, InferenceConfig, TimingModel};
@@ -60,6 +60,10 @@ pub enum NetworkChoice {
     /// A small two-conv-plus-FC network (8x8x3 input) that the cycle-level
     /// timing model can evaluate in test/smoke time budgets.
     TinyCnn,
+    /// The tiny CNN with a standalone average-pooling layer between the
+    /// conv stage and the classifier — exercises the `AvgPool` layer kind
+    /// (and its single stream-program emitter) end to end.
+    TinyPool,
 }
 
 impl NetworkChoice {
@@ -101,6 +105,32 @@ impl NetworkChoice {
                 net.layers_mut()[0].encodes_input = true;
                 (net, FiringProfile::uniform(3, 0.25))
             }
+            NetworkChoice::TinyPool => {
+                let lif = LifParams::new(0.5, 0.3);
+                let mut net = NetworkBuilder::new("tiny-pool")
+                    .conv(
+                        "conv1",
+                        ConvSpec {
+                            input: TensorShape::new(8, 8, 3),
+                            out_channels: 8,
+                            kh: 3,
+                            kw: 3,
+                            stride: 1,
+                            padding: 1,
+                            pool: false,
+                        },
+                        lif,
+                    )
+                    .avg_pool(
+                        "pool2",
+                        PoolSpec { input: TensorShape::new(8, 8, 8), window: 2 },
+                        lif,
+                    )
+                    .linear("fc3", LinearSpec { in_features: 4 * 4 * 8, out_features: 10 }, lif)
+                    .build_with_random_weights(seed, 0.1);
+                net.layers_mut()[0].encodes_input = true;
+                (net, FiringProfile::uniform(3, 0.25))
+            }
         }
     }
 
@@ -109,6 +139,7 @@ impl NetworkChoice {
         match self {
             NetworkChoice::Svgg11 => "svgg11",
             NetworkChoice::TinyCnn => "tiny-cnn",
+            NetworkChoice::TinyPool => "tiny-pool",
         }
     }
 }
@@ -209,10 +240,13 @@ impl Scenario {
                     scenario.network = match parse_string(lineno, value)?.as_str() {
                         "svgg11" => NetworkChoice::Svgg11,
                         "tiny-cnn" | "tiny" => NetworkChoice::TinyCnn,
+                        "tiny-pool" => NetworkChoice::TinyPool,
                         other => {
                             return Err(err(
                                 lineno,
-                                format!("unknown network `{other}` (svgg11 | tiny-cnn)"),
+                                format!(
+                                    "unknown network `{other}` (svgg11 | tiny-cnn | tiny-pool)"
+                                ),
                             ))
                         }
                     }

@@ -1,0 +1,48 @@
+//! Unified SSR stream-program intermediate representation.
+//!
+//! SpikeStream's central claim is that sparse SNN kernels are best expressed
+//! as *streams*: indirection-capable SSRs feed the FPU while the DMA engine
+//! double-buffers tiles into the scratchpad. This crate makes that claim a
+//! first-class artifact. A kernel *lowers* a layer (plus its compressed
+//! spike input) into a [`StreamProgram`] — a small program of phases:
+//!
+//! * [`DmaPhase`] — one tile transfer, annotated with whether it is
+//!   double-buffered (overlaps compute) or a prologue/epilogue transfer the
+//!   compute stream must serialize against;
+//! * [`ComputePhase`] — work items distributed over the worker cores by
+//!   workload stealing, each a sequence of [`KernelOp`]s: scalar integer or
+//!   FP operations (`Scalar{op, reps}` in the paper's terms), straight-line
+//!   loops, and SSR-fed FREP stream operations
+//!   (`Stream{pattern, ssr, op, format, reps}`).
+//!
+//! Both execution backends consume the *same* program:
+//!
+//! * the cycle-level backend interprets it on the `snitch-sim` cluster model
+//!   (`snitch_sim::execute_program`), and
+//! * the analytic backend integrates the [`CostModel`](snitch_arch::CostModel)
+//!   over it with the [`CostIntegrator`],
+//!
+//! so the two backends agree by construction: instruction, FLOP and
+//! DMA-byte totals are *exactly* equal on any concrete (non-symbolic)
+//! program, and cycle counts agree within the small tolerance introduced by
+//! the integrator's closed-form work-stealing distribution.
+//!
+//! Programs come in two flavours produced by the same emitters:
+//!
+//! * **exact** — lowered from a concrete compressed input: indirect streams
+//!   carry their resolved index vectors and every repetition count is
+//!   integral. Exact programs are interpretable and integrable.
+//! * **symbolic** — lowered from expected firing rates: indirect streams
+//!   carry an [`IndexStream::Expected`] element count and repetition counts
+//!   may be fractional. Symbolic programs integrate in `O(program size)`
+//!   independent of the layer's data, which is what keeps the analytic
+//!   backend fast enough for full-batch figure sweeps.
+
+pub mod cost;
+pub mod program;
+
+pub use cost::{CostIntegrator, ProgramCost};
+pub use program::{
+    CodeRegion, ComputePhase, DmaPhase, IndexStream, KernelOp, Phase, StreamProgram, StreamSpec,
+    WorkItem,
+};

@@ -16,24 +16,32 @@
 //! * **SpikeStream** — Listing 1c: an indirect stream register gathers the
 //!   weights while an FREP hardware loop keeps the FPU accumulating, so
 //!   the integer core merely sets up the next stream.
+//!
+//! The kernel is an *emitter*: [`ConvKernel::lower`] turns one layer
+//! invocation into a [`StreamProgram`] (computing the functional results
+//! along the way) and [`ConvKernel::lower_symbolic`] emits the same
+//! structure from expected firing rates for the analytic backend.
+//! [`ConvKernel::run`] is lower-then-interpret on the cluster model.
 
 use snitch_arch::fp::FpFormat;
-use snitch_arch::isa::{FpOp, IntOp, StreamPattern};
-use snitch_arch::{SsrId, TraceOp};
-use snitch_sim::ClusterModel;
+use snitch_arch::ClusterConfig;
+use snitch_sim::{execute_program, ClusterModel};
+use spikestream_ir::{
+    CodeRegion, ComputePhase, IndexStream, KernelOp, Phase, StreamProgram, WorkItem,
+};
 use spikestream_snn::compress::INDEX_BYTES;
 use spikestream_snn::reference::max_pool_2x2;
 use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, SpikeMap, Tensor3};
 
-use crate::schedule::WorkStealingScheduler;
+use crate::emit;
 use crate::tiling::TilingPlanner;
 use crate::KernelVariant;
 
 /// Approximate code footprints (bytes) of the kernel regions, used by the
 /// instruction-cache model.
-const CODE_REGION_CONV_BASELINE: (u64, u32) = (0x10, 1280);
-const CODE_REGION_CONV_SPIKESTREAM: (u64, u32) = (0x11, 1792);
-const CODE_REGION_ACTIVATION: (u64, u32) = (0x12, 640);
+const CODE_REGION_CONV_BASELINE: CodeRegion = CodeRegion { id: 0x10, bytes: 1280 };
+const CODE_REGION_CONV_SPIKESTREAM: CodeRegion = CodeRegion { id: 0x11, bytes: 1792 };
+pub(crate) const CODE_REGION_ACTIVATION: CodeRegion = CodeRegion { id: 0x12, bytes: 640 };
 
 /// Functional and structural result of one convolutional layer invocation.
 #[derive(Debug, Clone)]
@@ -56,6 +64,35 @@ pub struct ConvKernel {
     format: FpFormat,
 }
 
+/// Scratchpad base addresses of one conv lowering.
+struct ConvAddresses {
+    idcs_base: u32,
+    sptr_base: u32,
+    state_base: u32,
+    weights_base: u32,
+    group_words: u32,
+    word_bytes: u32,
+    spm_bytes: u32,
+}
+
+impl ConvAddresses {
+    /// Byte address of the SIMD weight group for `(kh, kw, g)`: the grouped
+    /// weight layout stores, per filter position and group, the `in_c`
+    /// gatherable SIMD words contiguously.
+    fn weight_group_base(
+        &self,
+        spec: &ConvSpec,
+        groups: usize,
+        kh: usize,
+        kw: usize,
+        g: usize,
+    ) -> u32 {
+        let offset =
+            (((kh * spec.kw + kw) * groups + g) as u32) * self.group_words * self.word_bytes;
+        self.weights_base.wrapping_add(offset % self.spm_bytes)
+    }
+}
+
 impl ConvKernel {
     /// Create a kernel for the given variant and floating-point format.
     pub fn new(variant: KernelVariant, format: FpFormat) -> Self {
@@ -72,7 +109,17 @@ impl ConvKernel {
         self.format
     }
 
-    /// Run one convolutional layer on the cluster.
+    /// The instruction-cache regions this kernel's programs fetch.
+    fn code_regions(&self) -> Vec<CodeRegion> {
+        let region = match self.variant {
+            KernelVariant::Baseline => CODE_REGION_CONV_BASELINE,
+            KernelVariant::SpikeStream => CODE_REGION_CONV_SPIKESTREAM,
+        };
+        vec![region, CODE_REGION_ACTIVATION]
+    }
+
+    /// Run one convolutional layer on the cluster: lower it to a stream
+    /// program and interpret that program on the timing model.
     ///
     /// `input` must be the compressed, padded ifmap of the layer and
     /// `state` the dense membrane state of its output neurons. The call
@@ -91,6 +138,25 @@ impl ConvKernel {
         input: &CompressedIfmap,
         state: &mut LifState,
     ) -> ConvKernelOutput {
+        let (program, output) = self.lower(cluster.config(), layer, input, state);
+        execute_program(cluster, &program);
+        output
+    }
+
+    /// Lower one layer invocation into its exact stream program, computing
+    /// the functional results (currents, spikes, compressed output) along
+    /// the way.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`ConvKernel::run`].
+    pub fn lower(
+        &self,
+        config: &ClusterConfig,
+        layer: &Layer,
+        input: &CompressedIfmap,
+        state: &mut LifState,
+    ) -> (StreamProgram, ConvKernelOutput) {
         let LayerKind::Conv(spec) = &layer.kind else {
             panic!("ConvKernel requires a convolutional layer");
         };
@@ -100,134 +166,195 @@ impl ConvKernel {
 
         let lanes = self.format.simd_lanes() as usize;
         let groups = spec.out_channels.div_ceil(lanes);
-        let elem_bytes = self.format.bytes();
 
-        // Tiling, double buffering and DMA traffic.
-        let plan = TilingPlanner::new(cluster.config()).plan_conv(spec, self.format, input);
-        plan.issue_dma(cluster);
-
-        let weights_base = plan.weights.base;
-        let idcs_base = plan.ifmap_idcs.base;
-        let sptr_base = plan.ifmap_sptr.base;
-        let state_base = plan.neuron_state.base;
-        let spm_bytes = cluster.config().spm_bytes.max(1);
-        // Byte address of the SIMD weight group for (kh, kw, group): the
-        // grouped weight layout stores, per filter position and group, the
-        // `in_c` gatherable SIMD words contiguously.
-        let group_words = spec.input.c as u32;
-        let word_bytes = (lanes as u32) * elem_bytes;
-        let weight_group_base = |kh: usize, kw: usize, g: usize| -> u32 {
-            let offset = (((kh * spec.kw + kw) * groups + g) as u32) * group_words * word_bytes;
-            weights_base.wrapping_add(offset % spm_bytes)
+        let plan = TilingPlanner::new(config).plan_conv(spec, self.format, input);
+        let addrs = ConvAddresses {
+            idcs_base: plan.ifmap_idcs.base,
+            sptr_base: plan.ifmap_sptr.base,
+            state_base: plan.neuron_state.base,
+            weights_base: plan.weights.base,
+            group_words: spec.input.c as u32,
+            word_bytes: lanes as u32 * self.format.bytes(),
+            spm_bytes: config.spm_bytes.max(1),
         };
 
-        let mut scheduler = WorkStealingScheduler::new(cluster.worker_cores());
+        let mut program = StreamProgram::new(&layer.name, self.format);
+        for dma in plan.dma_in_phases() {
+            program.push(Phase::Dma(dma));
+        }
+
         let mut currents = Tensor3::zeros(out_shape);
         let mut spikes = SpikeMap::silent(out_shape);
-
-        let (region_id, region_bytes) = match self.variant {
-            KernelVariant::Baseline => CODE_REGION_CONV_BASELINE,
-            KernelVariant::SpikeStream => CODE_REGION_CONV_SPIKESTREAM,
-        };
+        let mut items = Vec::with_capacity(out_shape.h * out_shape.w);
 
         for oh in 0..out_shape.h {
             for ow in 0..out_shape.w {
-                let core = scheduler.claim(cluster);
-                cluster.fetch_code(core, region_id, region_bytes);
-                cluster.fetch_code(core, CODE_REGION_ACTIVATION.0, CODE_REGION_ACTIVATION.1);
+                let mut ops = emit::claim();
 
-                // Active input channels at every filter position of this RF.
+                // Active input channels at every filter position of this RF,
+                // plus one shared gather-index list per position (every SIMD
+                // group streams through the same indices, so the program
+                // holds each list once).
                 let rf_active: Vec<&[u16]> = (0..spec.kh * spec.kw)
                     .map(|k| {
                         let (kh, kw) = (k / spec.kw, k % spec.kw);
                         input.active_at(oh * spec.stride + kh, ow * spec.stride + kw)
                     })
                     .collect();
+                let rf_indices: Vec<IndexStream> = rf_active
+                    .iter()
+                    .map(|active| IndexStream::exact(active.iter().map(|&c| c as u32)))
+                    .collect();
 
                 for g in 0..groups {
-                    self.run_group(
-                        cluster,
-                        core,
+                    self.lower_group(
+                        &mut ops,
                         layer,
                         spec,
                         input,
                         &rf_active,
-                        oh,
-                        ow,
-                        g,
+                        &rf_indices,
+                        (oh, ow, g),
                         lanes,
-                        GroupAddresses {
-                            weights_base: &weight_group_base,
-                            idcs_base,
-                            sptr_base,
-                            state_base,
-                        },
+                        groups,
+                        &addrs,
                         &mut currents,
                         &mut spikes,
                         state,
                     );
                 }
+                items.push(WorkItem::new(ops));
             }
         }
-
-        // Every core joins its outstanding FP work at the end of the layer.
-        for core in 0..cluster.worker_cores() {
-            cluster.core_mut(core).exec(&TraceOp::Barrier);
+        program.push(Phase::Compute(ComputePhase { code: self.code_regions(), items }));
+        for dma in plan.dma_out_phases() {
+            program.push(Phase::Dma(dma));
         }
 
         let output = if spec.pool { max_pool_2x2(&spikes) } else { spikes.clone() };
         let compressed = CompressedIfmap::from_spike_map(&output);
-        ConvKernelOutput { currents, spikes, output, compressed }
+        (program, ConvKernelOutput { currents, spikes, output, compressed })
     }
 
-    /// Process one SIMD output-channel group of one receptive field.
-    #[allow(clippy::too_many_arguments)]
-    fn run_group(
+    /// Lower one layer symbolically from expected firing rates: the same
+    /// emitter structure with a single representative receptive field
+    /// replicated over all output positions, expected-length streams and
+    /// expected firing counts. The analytic backend integrates the result.
+    pub fn lower_symbolic(
         &self,
-        cluster: &mut ClusterModel,
-        core: usize,
+        config: &ClusterConfig,
+        label: &str,
+        spec: &ConvSpec,
+        input_rate: f64,
+        output_rate: f64,
+    ) -> StreamProgram {
+        let lanes = self.format.simd_lanes() as usize;
+        let groups = spec.out_channels.div_ceil(lanes);
+        let out = spec.conv_output();
+        let kk = spec.kh * spec.kw;
+        let input_rate = input_rate.clamp(0.0, 1.0);
+        let output_rate = output_rate.clamp(0.0, 1.0);
+        let s_len = spec.input.c as f64 * input_rate;
+
+        // The padded border is silent, so the expected spike count (and
+        // with it the compressed-ifmap DMA traffic) covers the interior.
+        let padded = spec.padded_input();
+        let interior = if padded.h > 2 * spec.padding {
+            (padded.h - 2 * spec.padding) * (padded.w - 2 * spec.padding) * padded.c
+        } else {
+            padded.len()
+        };
+        let expected_spikes = (interior as f64 * input_rate).round() as usize;
+
+        let plan = TilingPlanner::new(config).plan_conv_spikes(spec, self.format, expected_spikes);
+        let addrs = ConvAddresses {
+            idcs_base: plan.ifmap_idcs.base,
+            sptr_base: plan.ifmap_sptr.base,
+            state_base: plan.neuron_state.base,
+            weights_base: plan.weights.base,
+            group_words: spec.input.c as u32,
+            word_bytes: lanes as u32 * self.format.bytes(),
+            spm_bytes: config.spm_bytes.max(1),
+        };
+
+        let mut program = StreamProgram::new(label, self.format);
+        for dma in plan.dma_in_phases() {
+            program.push(Phase::Dma(dma));
+        }
+
+        // One representative filter position...
+        let mut position = Vec::new();
+        emit::position_control(&mut position, addrs.sptr_base);
+        if s_len > 0.0 {
+            position.push(match self.variant {
+                KernelVariant::Baseline => emit::baseline_spva(addrs.idcs_base, s_len),
+                KernelVariant::SpikeStream => emit::streamed_spva(
+                    addrs.idcs_base,
+                    addrs.weight_group_base(spec, groups, 0, 0, 0),
+                    addrs.word_bytes,
+                    IndexStream::Expected(s_len),
+                ),
+            });
+        }
+
+        // ... inside one representative SIMD group ...
+        let mut group = Vec::new();
+        emit::group_prologue(&mut group, addrs.state_base);
+        group.push(KernelOp::Loop { body: position, reps: kk as f64 });
+        emit::activation_head(&mut group);
+        emit::activation_tail_symbolic(
+            &mut group,
+            lanes as f64,
+            lanes as f64 * output_rate,
+            addrs.idcs_base,
+            addrs.sptr_base,
+        );
+        emit::state_writeback(&mut group, addrs.state_base);
+
+        // ... inside one representative receptive field, replicated over
+        // every output position.
+        let mut ops = emit::claim();
+        ops.push(KernelOp::Loop { body: group, reps: groups as f64 });
+        program.push(Phase::Compute(ComputePhase {
+            code: self.code_regions(),
+            items: vec![WorkItem::replicated((out.h * out.w) as f64, ops)],
+        }));
+        for dma in plan.dma_out_phases() {
+            program.push(Phase::Dma(dma));
+        }
+        program
+    }
+
+    /// Emit one SIMD output-channel group of one receptive field, updating
+    /// the functional state.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_group(
+        &self,
+        ops: &mut Vec<KernelOp>,
         layer: &Layer,
         spec: &ConvSpec,
         input: &CompressedIfmap,
         rf_active: &[&[u16]],
-        oh: usize,
-        ow: usize,
-        g: usize,
+        rf_indices: &[IndexStream],
+        rf: (usize, usize, usize),
         lanes: usize,
-        addrs: GroupAddresses<'_>,
+        groups: usize,
+        addrs: &ConvAddresses,
         currents: &mut Tensor3,
         spikes: &mut SpikeMap,
         state: &mut LifState,
-    ) -> usize {
+    ) {
+        let (oh, ow, g) = rf;
         let out_shape = spec.conv_output();
-        let core_model = cluster.core_mut(core);
-
-        // Load the membrane potentials of the group into an FP register and
-        // compute the group's weight base address.
-        core_model.exec(&TraceOp::Fp {
-            op: FpOp::Load,
-            format: self.format,
-            ssr_srcs: vec![],
-            addr: Some(addrs.state_base),
-        });
-        core_model.exec(&TraceOp::alu());
-        core_model.exec(&TraceOp::alu());
+        emit::group_prologue(ops, addrs.state_base);
 
         for (k, &active) in rf_active.iter().enumerate() {
             let (kh, kw) = (k / spec.kw, k % spec.kw);
             let s_len = active.len();
 
-            // Outer-loop control of Listing 1a: row-pointer bookkeeping,
-            // spatial-coordinate computation and the two `s_ptr` loads that
-            // give the stream base address and length.
             let coo = (oh * spec.stride + kh) * input.shape().w + (ow * spec.stride + kw);
             let sptr_addr = addrs.sptr_base + (coo as u32) * INDEX_BYTES as u32;
-            core_model.exec(&TraceOp::branch());
-            core_model.exec(&TraceOp::alu());
-            core_model.exec(&TraceOp::alu());
-            core_model.exec(&TraceOp::load(sptr_addr));
-            core_model.exec(&TraceOp::load(sptr_addr + INDEX_BYTES as u32));
-            core_model.exec(&TraceOp::alu());
+            emit::position_control(ops, sptr_addr);
 
             // Functional accumulation: every active input channel adds its
             // SIMD group of weights to the group's currents.
@@ -249,89 +376,37 @@ impl ConvKernel {
             if s_len == 0 {
                 continue;
             }
-            match self.variant {
-                KernelVariant::Baseline => {
-                    let block = [
-                        TraceOp::load(addrs.idcs_base),
-                        TraceOp::alu(),
-                        TraceOp::alu(),
-                        TraceOp::Fp {
-                            op: FpOp::Load,
-                            format: self.format,
-                            ssr_srcs: vec![],
-                            addr: None,
-                        },
-                        TraceOp::alu(),
-                        TraceOp::alu(),
-                        TraceOp::fp(FpOp::Add, self.format),
-                        TraceOp::branch(),
-                    ];
-                    core_model.exec_repeated(&block, s_len as u64);
-                }
-                KernelVariant::SpikeStream => {
-                    let index_base = addrs.idcs_base + input.s_ptr()[coo] * INDEX_BYTES as u32;
-                    core_model.exec(&TraceOp::SsrConfig {
-                        ssr: SsrId::Ssr0,
-                        pattern: StreamPattern::Indirect {
-                            index_base,
-                            index_bytes: INDEX_BYTES as u32,
-                            data_base: (addrs.weights_base)(kh, kw, g),
-                            elem_bytes: (lanes as u32) * self.format.bytes(),
-                            indices: active.iter().map(|&c| c as u32).collect(),
-                        },
-                        shadow: true,
-                    });
-                    core_model.exec(&TraceOp::Frep {
-                        reps: s_len as u32,
-                        body: vec![TraceOp::fp_streamed(FpOp::Add, self.format, SsrId::Ssr0)],
-                    });
-                }
-            }
+            ops.push(match self.variant {
+                KernelVariant::Baseline => emit::baseline_spva(addrs.idcs_base, s_len as f64),
+                KernelVariant::SpikeStream => emit::streamed_spva(
+                    addrs.idcs_base + input.s_ptr()[coo] * INDEX_BYTES as u32,
+                    addrs.weight_group_base(spec, groups, kh, kw, g),
+                    addrs.word_bytes,
+                    rf_indices[k].clone(),
+                ),
+            });
         }
 
         // Fused LIF activation of the group (Section III-B/III-C): decay and
         // integrate on the FPU, then threshold and unpack the SIMD lanes
         // with bit masking and branches; spiking lanes atomically update the
         // compressed ofmap buffers.
-        let core_model = cluster.core_mut(core);
-        core_model.exec(&TraceOp::fp(FpOp::Fma, self.format)); // v*alpha + i
-        core_model.exec(&TraceOp::fp(FpOp::Cmp, self.format)); // >= v_th
-        core_model.exec(&TraceOp::Int { op: IntOp::Move, addr: None });
-        let mut group_spikes = 0usize;
+        emit::activation_head(ops);
         for lane in 0..lanes {
             let co = g * lanes + lane;
             if co >= spec.out_channels {
                 break;
             }
-            core_model.exec(&TraceOp::alu()); // mask extraction
-            core_model.exec(&TraceOp::branch());
+            emit::lane_unpack(ops);
             let neuron = out_shape.index(oh, ow, co);
             let current = self.format.quantize(currents.get(oh, ow, co));
-            let fired = state.step_single(&layer.lif, neuron, current);
-            if fired {
+            if state.step_single(&layer.lif, neuron, current) {
                 spikes.set(oh, ow, co, true);
-                group_spikes += 1;
-                core_model.exec(&TraceOp::store(addrs.idcs_base));
-                core_model.exec(&TraceOp::Int { op: IntOp::Amo, addr: Some(addrs.sptr_base) });
+                emit::fired_update(ops, addrs.idcs_base, addrs.sptr_base);
             }
         }
-        // Write the updated membrane potentials back.
-        core_model.exec(&TraceOp::Fp {
-            op: FpOp::Store,
-            format: self.format,
-            ssr_srcs: vec![],
-            addr: Some(addrs.state_base),
-        });
-        group_spikes
+        emit::state_writeback(ops, addrs.state_base);
     }
-}
-
-/// Scratchpad base addresses used while processing one group.
-struct GroupAddresses<'a> {
-    weights_base: &'a dyn Fn(usize, usize, usize) -> u32,
-    idcs_base: u32,
-    sptr_base: u32,
-    state_base: u32,
 }
 
 #[cfg(test)]
@@ -340,6 +415,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use snitch_arch::{ClusterConfig, CostModel};
+    use spikestream_ir::CostIntegrator;
     use spikestream_snn::neuron::LifParams;
     use spikestream_snn::tensor::TensorShape;
     use spikestream_snn::{Layer, ReferenceEngine};
@@ -501,5 +577,42 @@ mod tests {
         let mut state = LifState::new(spec.conv_output().len());
         ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut cl, &layer, &wrong, &mut state);
+    }
+
+    #[test]
+    fn symbolic_lowering_tracks_the_exact_program() {
+        // The symbolic program's integrated cost must sit close to the
+        // interpreted exact program when the expected rate matches the
+        // realized input.
+        let (layer, spec) = test_layer(32, 32, 8, false);
+        let input = random_input(&spec, 0.3, 21);
+        let realized_rate = {
+            let interior = (spec.input.h * spec.input.w * spec.input.c) as f64;
+            input.spike_count() as f64 / interior
+        };
+        let config = ClusterConfig::default();
+        for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
+            let kernel = ConvKernel::new(variant, FpFormat::Fp16);
+            let mut state = LifState::new(spec.conv_output().len());
+            let (program, out) = kernel.lower(&config, &layer, &input, &mut state);
+            let mut cl = cluster();
+            execute_program(&mut cl, &program);
+            let stats = cl.finish_phase("exact");
+
+            let out_rate = out.spikes.count_spikes() as f64 / spec.conv_output().len() as f64;
+            let symbolic = kernel.lower_symbolic(&config, "sym", &spec, realized_rate, out_rate);
+            let cost =
+                CostIntegrator::new(config.clone(), CostModel::default()).integrate(&symbolic);
+
+            let rel = (stats.compute_cycles as f64 - cost.compute_cycles as f64).abs()
+                / stats.compute_cycles as f64;
+            assert!(
+                rel < 0.25,
+                "{variant}: symbolic {} vs exact {} ({:.1}% off)",
+                cost.compute_cycles,
+                stats.compute_cycles,
+                100.0 * rel
+            );
+        }
     }
 }

@@ -7,21 +7,27 @@
 //! convolution into a matrix multiplication whose dot products are fed by
 //! two *affine* stream registers (one for the input row, one for the
 //! weights); the baseline executes the same matmul as a scalar SIMD loop.
+//!
+//! Like the sparse kernels, this kernel is an emitter: it lowers the layer
+//! into a [`StreamProgram`] (exactly, or symbolically from expected rates)
+//! and [`DenseEncodingKernel::run`] interprets that program.
 
 use snitch_arch::fp::FpFormat;
-use snitch_arch::isa::{FpOp, IntOp, StreamPattern};
-use snitch_arch::{SsrId, TraceOp};
-use snitch_mem::dma::{DmaDirection, DmaRequest};
-use snitch_sim::ClusterModel;
+use snitch_arch::ClusterConfig;
+use snitch_mem::dma::DmaDirection;
+use snitch_sim::{execute_program, ClusterModel};
+use spikestream_ir::{
+    CodeRegion, ComputePhase, DmaPhase, KernelOp, Phase, StreamProgram, WorkItem,
+};
 use spikestream_snn::reference::max_pool_2x2;
-use spikestream_snn::{CompressedIfmap, Layer, LayerKind, LifState, SpikeMap, Tensor3};
+use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, SpikeMap, Tensor3};
 
-use crate::schedule::WorkStealingScheduler;
+use crate::emit;
 use crate::tiling::TilingPlanner;
 use crate::KernelVariant;
 
-const CODE_REGION_DENSE_BASELINE: (u64, u32) = (0x30, 1024);
-const CODE_REGION_DENSE_SPIKESTREAM: (u64, u32) = (0x31, 1408);
+const CODE_REGION_DENSE_BASELINE: CodeRegion = CodeRegion { id: 0x30, bytes: 1024 };
+const CODE_REGION_DENSE_SPIKESTREAM: CodeRegion = CodeRegion { id: 0x31, bytes: 1408 };
 
 /// Result of the spike-encoding layer.
 #[derive(Debug, Clone)]
@@ -59,7 +65,15 @@ impl DenseEncodingKernel {
         self.format
     }
 
-    /// Run the spike-encoding layer on the cluster.
+    fn code_regions(&self) -> Vec<CodeRegion> {
+        let region = match self.variant {
+            KernelVariant::Baseline => CODE_REGION_DENSE_BASELINE,
+            KernelVariant::SpikeStream => CODE_REGION_DENSE_SPIKESTREAM,
+        };
+        vec![region]
+    }
+
+    /// Run the spike-encoding layer on the cluster (lower + interpret).
     ///
     /// `image` must be the padded input image in HWC layout.
     ///
@@ -74,6 +88,24 @@ impl DenseEncodingKernel {
         image: &Tensor3,
         state: &mut LifState,
     ) -> DenseKernelOutput {
+        let (program, output) = self.lower(cluster.config(), layer, image, state);
+        execute_program(cluster, &program);
+        output
+    }
+
+    /// Lower one spike-encoding invocation into its exact stream program,
+    /// computing the functional results along the way.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`DenseEncodingKernel::run`].
+    pub fn lower(
+        &self,
+        config: &ClusterConfig,
+        layer: &Layer,
+        image: &Tensor3,
+        state: &mut LifState,
+    ) -> (StreamProgram, DenseKernelOutput) {
         let LayerKind::Conv(spec) = &layer.kind else {
             panic!("DenseEncodingKernel requires a convolutional layer");
         };
@@ -85,35 +117,34 @@ impl DenseEncodingKernel {
         let groups = spec.out_channels.div_ceil(lanes);
         let k_len = spec.kh * spec.kw * spec.input.c;
 
-        // Dense ifmap tile + weights: issue the regular tile plan plus the
-        // on-the-fly im2row 2D reshape performed by the DMA core.
-        let empty = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
-        let plan = TilingPlanner::new(cluster.config()).plan_conv(spec, self.format, &empty);
-        plan.issue_dma(cluster);
+        // Dense ifmap tile + weights: the regular tile plan (the dense tile
+        // has no compressed indices) plus the on-the-fly im2row 2D reshape
+        // performed by the DMA core.
+        let plan = TilingPlanner::new(config).plan_conv_spikes(spec, self.format, 0);
+        let mut program = StreamProgram::new(&layer.name, self.format);
+        for dma in plan.dma_in_phases() {
+            program.push(Phase::Dma(dma));
+        }
         let row_bytes = (spec.kw * spec.input.c * 4) as u64;
-        cluster.dma_issue(
-            DmaRequest::strided_2d(DmaDirection::In, row_bytes, (out_shape.h * spec.kh) as u64),
-            0,
-        );
+        program.push(Phase::Dma(DmaPhase::strided_2d(
+            DmaDirection::In,
+            row_bytes,
+            (out_shape.h * spec.kh) as u64,
+            false,
+        )));
 
         let weights_base = plan.weights.base;
         let input_base = plan.ifmap_idcs.base;
         let state_base = plan.neuron_state.base;
+        let lane_bytes = lanes as u32 * self.format.bytes();
 
-        let (region_id, region_bytes) = match self.variant {
-            KernelVariant::Baseline => CODE_REGION_DENSE_BASELINE,
-            KernelVariant::SpikeStream => CODE_REGION_DENSE_SPIKESTREAM,
-        };
-
-        let mut scheduler = WorkStealingScheduler::new(cluster.worker_cores());
         let mut currents = Tensor3::zeros(out_shape);
         let mut spikes = SpikeMap::silent(out_shape);
+        let mut items = Vec::with_capacity(out_shape.h * out_shape.w);
 
         for oh in 0..out_shape.h {
             for ow in 0..out_shape.w {
-                let core = scheduler.claim(cluster);
-                cluster.fetch_code(core, region_id, region_bytes);
-
+                let mut ops = emit::claim();
                 for g in 0..groups {
                     // Functional dot product for each lane of the group.
                     for kh in 0..spec.kh {
@@ -139,107 +170,109 @@ impl DenseEncodingKernel {
                     }
 
                     // Timing of the dot product.
-                    let core_model = cluster.core_mut(core);
-                    core_model.exec(&TraceOp::Fp {
-                        op: FpOp::Load,
-                        format: self.format,
-                        ssr_srcs: vec![],
-                        addr: Some(state_base),
+                    emit::group_prologue(&mut ops, state_base);
+                    ops.push(match self.variant {
+                        KernelVariant::Baseline => emit::baseline_dense_dot(k_len as f64),
+                        KernelVariant::SpikeStream => emit::streamed_dense_dot(
+                            input_base,
+                            weights_base,
+                            lane_bytes,
+                            k_len as u32,
+                        ),
                     });
-                    core_model.exec(&TraceOp::alu());
-                    core_model.exec(&TraceOp::alu());
-                    match self.variant {
-                        KernelVariant::Baseline => {
-                            let block = [
-                                TraceOp::Fp {
-                                    op: FpOp::Load,
-                                    format: self.format,
-                                    ssr_srcs: vec![],
-                                    addr: None,
-                                },
-                                TraceOp::Fp {
-                                    op: FpOp::Load,
-                                    format: self.format,
-                                    ssr_srcs: vec![],
-                                    addr: None,
-                                },
-                                TraceOp::fp(FpOp::Fma, self.format),
-                                TraceOp::alu(),
-                                TraceOp::branch(),
-                            ];
-                            core_model.exec_repeated(&block, k_len as u64);
-                        }
-                        KernelVariant::SpikeStream => {
-                            core_model.exec(&TraceOp::SsrConfig {
-                                ssr: SsrId::Ssr0,
-                                pattern: StreamPattern::Affine {
-                                    base: input_base,
-                                    strides: vec![4],
-                                    bounds: vec![k_len as u32],
-                                    elem_bytes: 4,
-                                },
-                                shadow: true,
-                            });
-                            core_model.exec(&TraceOp::SsrConfig {
-                                ssr: SsrId::Ssr1,
-                                pattern: StreamPattern::Affine {
-                                    base: weights_base,
-                                    strides: vec![(lanes as i64) * self.format.bytes() as i64],
-                                    bounds: vec![k_len as u32],
-                                    elem_bytes: (lanes as u32) * self.format.bytes(),
-                                },
-                                shadow: true,
-                            });
-                            core_model.exec(&TraceOp::Frep {
-                                reps: k_len as u32,
-                                body: vec![TraceOp::Fp {
-                                    op: FpOp::Fma,
-                                    format: self.format,
-                                    ssr_srcs: vec![SsrId::Ssr0, SsrId::Ssr1],
-                                    addr: None,
-                                }],
-                            });
-                        }
-                    }
 
                     // Fused LIF activation, identical to the sparse layers.
-                    core_model.exec(&TraceOp::fp(FpOp::Fma, self.format));
-                    core_model.exec(&TraceOp::fp(FpOp::Cmp, self.format));
-                    core_model.exec(&TraceOp::Int { op: IntOp::Move, addr: None });
+                    emit::activation_head(&mut ops);
                     for lane in 0..lanes {
                         let co = g * lanes + lane;
                         if co >= spec.out_channels {
                             break;
                         }
-                        core_model.exec(&TraceOp::alu());
-                        core_model.exec(&TraceOp::branch());
+                        emit::lane_unpack(&mut ops);
                         let neuron = out_shape.index(oh, ow, co);
                         let current = self.format.quantize(currents.get(oh, ow, co));
-                        let fired = state.step_single(&layer.lif, neuron, current);
-                        if fired {
+                        if state.step_single(&layer.lif, neuron, current) {
                             spikes.set(oh, ow, co, true);
-                            core_model.exec(&TraceOp::store(input_base));
-                            core_model
-                                .exec(&TraceOp::Int { op: IntOp::Amo, addr: Some(input_base) });
+                            emit::fired_update(&mut ops, input_base, input_base);
                         }
                     }
-                    core_model.exec(&TraceOp::Fp {
-                        op: FpOp::Store,
-                        format: self.format,
-                        ssr_srcs: vec![],
-                        addr: Some(state_base),
-                    });
+                    emit::state_writeback(&mut ops, state_base);
                 }
+                items.push(WorkItem::new(ops));
             }
         }
-
-        for core in 0..cluster.worker_cores() {
-            cluster.core_mut(core).exec(&TraceOp::Barrier);
+        program.push(Phase::Compute(ComputePhase { code: self.code_regions(), items }));
+        for dma in plan.dma_out_phases() {
+            program.push(Phase::Dma(dma));
         }
 
         let output = if spec.pool { max_pool_2x2(&spikes) } else { spikes.clone() };
         let compressed = CompressedIfmap::from_spike_map(&output);
-        DenseKernelOutput { currents, spikes, output, compressed }
+        (program, DenseKernelOutput { currents, spikes, output, compressed })
+    }
+
+    /// Symbolic lowering from the expected output firing rate (the dense
+    /// input consumes every pixel, so only the activation tail is
+    /// rate-dependent).
+    pub fn lower_symbolic(
+        &self,
+        config: &ClusterConfig,
+        label: &str,
+        spec: &ConvSpec,
+        output_rate: f64,
+    ) -> StreamProgram {
+        let lanes = self.format.simd_lanes() as usize;
+        let groups = spec.out_channels.div_ceil(lanes);
+        let out = spec.conv_output();
+        let k_len = spec.kh * spec.kw * spec.input.c;
+        let output_rate = output_rate.clamp(0.0, 1.0);
+
+        let plan = TilingPlanner::new(config).plan_conv_spikes(spec, self.format, 0);
+        let mut program = StreamProgram::new(label, self.format);
+        for dma in plan.dma_in_phases() {
+            program.push(Phase::Dma(dma));
+        }
+        let row_bytes = (spec.kw * spec.input.c * 4) as u64;
+        program.push(Phase::Dma(DmaPhase::strided_2d(
+            DmaDirection::In,
+            row_bytes,
+            (out.h * spec.kh) as u64,
+            false,
+        )));
+
+        let weights_base = plan.weights.base;
+        let input_base = plan.ifmap_idcs.base;
+        let state_base = plan.neuron_state.base;
+        let lane_bytes = lanes as u32 * self.format.bytes();
+
+        let mut group = Vec::new();
+        emit::group_prologue(&mut group, state_base);
+        group.push(match self.variant {
+            KernelVariant::Baseline => emit::baseline_dense_dot(k_len as f64),
+            KernelVariant::SpikeStream => {
+                emit::streamed_dense_dot(input_base, weights_base, lane_bytes, k_len as u32)
+            }
+        });
+        emit::activation_head(&mut group);
+        emit::activation_tail_symbolic(
+            &mut group,
+            lanes as f64,
+            lanes as f64 * output_rate,
+            input_base,
+            input_base,
+        );
+        emit::state_writeback(&mut group, state_base);
+
+        let mut ops = emit::claim();
+        ops.push(KernelOp::Loop { body: group, reps: groups as f64 });
+        program.push(Phase::Compute(ComputePhase {
+            code: self.code_regions(),
+            items: vec![WorkItem::replicated((out.h * out.w) as f64, ops)],
+        }));
+        for dma in plan.dma_out_phases() {
+            program.push(Phase::Dma(dma));
+        }
+        program
     }
 }
 

@@ -1,0 +1,174 @@
+//! Shared emitter vocabulary.
+//!
+//! Every kernel lowers its layer onto the same handful of op templates —
+//! the work-stealing claim, the SIMD-group prologue, the outer-loop control
+//! of Listing 1a, the two SpVA bodies of Listings 1b/1c, and the fused LIF
+//! activation — so the instruction structure of the paper's inner loops is
+//! written down exactly once. Exact lowerings compose these templates with
+//! resolved indices and per-lane firing decisions; symbolic lowerings
+//! compose the *same* templates under `Loop` nodes with expected
+//! (fractional) counts. This module is what replaced the duplicated
+//! closed-form loop math of the old `analytic` module.
+
+use snitch_arch::isa::FpOp;
+use snitch_arch::SsrId;
+use spikestream_ir::{IndexStream, KernelOp, StreamSpec};
+use spikestream_snn::compress::INDEX_BYTES;
+
+/// The workload-stealing claim of one work item: the atomic `next_rf` bump
+/// plus the bookkeeping branch of the stealing loop (Fig. 2b).
+pub(crate) fn claim() -> Vec<KernelOp> {
+    vec![KernelOp::amo(0), KernelOp::branch()]
+}
+
+/// SIMD-group prologue: load the group's membrane potentials into an FP
+/// register and compute the group's weight base address.
+pub(crate) fn group_prologue(ops: &mut Vec<KernelOp>, state_base: u32) {
+    ops.push(KernelOp::fp_at(FpOp::Load, state_base));
+    ops.push(KernelOp::alu());
+    ops.push(KernelOp::alu());
+}
+
+/// Outer-loop control per filter position (Listing 1a): row-pointer
+/// bookkeeping, spatial-coordinate computation and the two `s_ptr` loads
+/// that give the stream base address and length.
+pub(crate) fn position_control(ops: &mut Vec<KernelOp>, sptr_addr: u32) {
+    ops.push(KernelOp::branch());
+    ops.push(KernelOp::alu());
+    ops.push(KernelOp::alu());
+    ops.push(KernelOp::load(sptr_addr));
+    ops.push(KernelOp::load(sptr_addr + INDEX_BYTES as u32));
+    ops.push(KernelOp::alu());
+}
+
+/// The scalar indirection loop of Listing 1b: per element, seven integer
+/// instructions surround a single useful `fadd`.
+pub(crate) fn baseline_spva(idcs_base: u32, s_len: f64) -> KernelOp {
+    KernelOp::Loop {
+        body: vec![
+            KernelOp::load(idcs_base),
+            KernelOp::alu(),
+            KernelOp::alu(),
+            KernelOp::fp(FpOp::Load),
+            KernelOp::alu(),
+            KernelOp::alu(),
+            KernelOp::fp(FpOp::Add),
+            KernelOp::branch(),
+        ],
+        reps: s_len,
+    }
+}
+
+/// The streamed SpVA of Listing 1c: an indirect stream register gathers the
+/// weights while an FREP hardware loop keeps the FPU accumulating.
+pub(crate) fn streamed_spva(
+    index_base: u32,
+    data_base: u32,
+    elem_bytes: u32,
+    indices: IndexStream,
+) -> KernelOp {
+    KernelOp::Stream {
+        ssrs: vec![(
+            SsrId::Ssr0,
+            StreamSpec::Indirect {
+                index_base,
+                index_bytes: INDEX_BYTES as u32,
+                data_base,
+                elem_bytes,
+                indices,
+            },
+        )],
+        op: FpOp::Add,
+    }
+}
+
+/// The dense matmul inner loop of the spike-encoding layer, baseline
+/// variant: two loads, one FMA, pointer bump and loop branch per element.
+pub(crate) fn baseline_dense_dot(k_len: f64) -> KernelOp {
+    KernelOp::Loop {
+        body: vec![
+            KernelOp::fp(FpOp::Load),
+            KernelOp::fp(FpOp::Load),
+            KernelOp::fp(FpOp::Fma),
+            KernelOp::alu(),
+            KernelOp::branch(),
+        ],
+        reps: k_len,
+    }
+}
+
+/// The dense matmul inner loop, SpikeStream variant: two affine streams
+/// (input row and weights) feed an FMA under FREP.
+pub(crate) fn streamed_dense_dot(
+    input_base: u32,
+    weights_base: u32,
+    lane_bytes: u32,
+    k_len: u32,
+) -> KernelOp {
+    KernelOp::Stream {
+        ssrs: vec![
+            (
+                SsrId::Ssr0,
+                StreamSpec::Affine {
+                    base: input_base,
+                    strides: vec![4],
+                    bounds: vec![k_len],
+                    elem_bytes: 4,
+                },
+            ),
+            (
+                SsrId::Ssr1,
+                StreamSpec::Affine {
+                    base: weights_base,
+                    strides: vec![lane_bytes as i64],
+                    bounds: vec![k_len],
+                    elem_bytes: lane_bytes,
+                },
+            ),
+        ],
+        op: FpOp::Fma,
+    }
+}
+
+/// Head of the fused LIF activation (Section III-B/III-C): decay and
+/// integrate on the FPU, threshold compare, then move the spike mask to the
+/// integer core.
+pub(crate) fn activation_head(ops: &mut Vec<KernelOp>) {
+    ops.push(KernelOp::fp(FpOp::Fma)); // v*alpha + i
+    ops.push(KernelOp::fp(FpOp::Cmp)); // >= v_th
+    ops.push(KernelOp::mov());
+}
+
+/// Per-lane unpacking of the spike mask: bit extraction plus branch.
+pub(crate) fn lane_unpack(ops: &mut Vec<KernelOp>) {
+    ops.push(KernelOp::alu());
+    ops.push(KernelOp::branch());
+}
+
+/// Compressed-output update of one firing lane: append the channel index
+/// and atomically bump the spatial pointer.
+pub(crate) fn fired_update(ops: &mut Vec<KernelOp>, idcs_base: u32, sptr_base: u32) {
+    ops.push(KernelOp::store(idcs_base));
+    ops.push(KernelOp::amo(sptr_base));
+}
+
+/// Symbolic form of the per-lane activation tail: `lanes` unpack pairs plus
+/// the expected number of compressed-output updates.
+pub(crate) fn activation_tail_symbolic(
+    ops: &mut Vec<KernelOp>,
+    lanes: f64,
+    fired_lanes: f64,
+    idcs_base: u32,
+    sptr_base: u32,
+) {
+    ops.push(KernelOp::Loop { body: vec![KernelOp::alu(), KernelOp::branch()], reps: lanes });
+    if fired_lanes > 0.0 {
+        ops.push(KernelOp::store(idcs_base).times(fired_lanes));
+        ops.push(KernelOp::amo(sptr_base).times(fired_lanes));
+    }
+}
+
+/// Membrane write-back closing a group's activation.
+pub(crate) fn state_writeback(ops: &mut Vec<KernelOp>, state_base: u32) {
+    ops.push(KernelOp::fp_at(FpOp::Store, state_base));
+}

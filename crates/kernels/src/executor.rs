@@ -17,7 +17,7 @@ use spikestream_snn::{
     AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, LifState, SpikeMap, Tensor3,
 };
 
-use crate::{ConvKernel, DenseEncodingKernel, FcKernel, KernelVariant};
+use crate::{ConvKernel, DenseEncodingKernel, FcKernel, KernelVariant, PoolKernel};
 
 /// The input of one layer invocation.
 #[derive(Debug, Clone, Copy)]
@@ -188,6 +188,20 @@ impl LayerExecutor {
                     output_spikes: out.output.count_spikes() as u64,
                 }
             }
+            (LayerKind::AvgPool(spec), LayerInput::Spikes(spikes)) => {
+                scratch.ifmap.refill_from(spikes);
+                let kernel = PoolKernel::new(self.variant, self.format);
+                let out = kernel.run(cluster, layer, spikes);
+                let rate = scratch.ifmap.firing_rate();
+                LayerExecution {
+                    input_rate: rate,
+                    input_spikes: scratch.ifmap.spike_count() as u64,
+                    synops: spec.dense_synops() as f64 * rate,
+                    csr_footprint_bytes: scratch.ifmap.footprint_bytes() as f64,
+                    aer_footprint_bytes: (scratch.ifmap.spike_count() * AerEvent::BYTES) as f64,
+                    output_spikes: out.output.count_spikes() as u64,
+                }
+            }
             (LayerKind::Linear(spec), LayerInput::Spikes(spikes)) => {
                 scratch.fc.refill_from(spikes.data());
                 scratch.lif.reset_to(spec.out_features);
@@ -203,8 +217,8 @@ impl LayerExecutor {
                     output_spikes: out.spikes.iter().filter(|&&s| s).count() as u64,
                 }
             }
-            (LayerKind::Linear(_), LayerInput::Image(_)) => {
-                panic!("fully connected layers consume spikes, not dense images")
+            (LayerKind::Linear(_) | LayerKind::AvgPool(_), LayerInput::Image(_)) => {
+                panic!("fully connected and pooling layers consume spikes, not dense images")
             }
         }
     }

@@ -5,21 +5,21 @@
 //! are parallelized over cores in SIMD groups; each group performs one
 //! Sparse Vector Accumulation whose length equals the number of active
 //! inputs, either as the scalar indirection loop (baseline) or as an
-//! indirect stream under FREP (SpikeStream).
+//! indirect stream under FREP (SpikeStream). The kernel lowers each
+//! invocation to a [`StreamProgram`] with one work item per SIMD group.
 
 use snitch_arch::fp::FpFormat;
-use snitch_arch::isa::{FpOp, IntOp, StreamPattern};
-use snitch_arch::{SsrId, TraceOp};
-use snitch_sim::ClusterModel;
-use spikestream_snn::compress::INDEX_BYTES;
-use spikestream_snn::{CompressedFcInput, Layer, LayerKind, LifState};
+use snitch_arch::ClusterConfig;
+use snitch_sim::{execute_program, ClusterModel};
+use spikestream_ir::{CodeRegion, ComputePhase, IndexStream, Phase, StreamProgram, WorkItem};
+use spikestream_snn::{CompressedFcInput, Layer, LayerKind, LifState, LinearSpec};
 
-use crate::schedule::WorkStealingScheduler;
+use crate::emit;
 use crate::tiling::TilingPlanner;
 use crate::KernelVariant;
 
-const CODE_REGION_FC_BASELINE: (u64, u32) = (0x20, 896);
-const CODE_REGION_FC_SPIKESTREAM: (u64, u32) = (0x21, 1152);
+const CODE_REGION_FC_BASELINE: CodeRegion = CodeRegion { id: 0x20, bytes: 896 };
+const CODE_REGION_FC_SPIKESTREAM: CodeRegion = CodeRegion { id: 0x21, bytes: 1152 };
 
 /// Result of one fully connected layer invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +55,15 @@ impl FcKernel {
         self.format
     }
 
-    /// Run one fully connected layer on the cluster.
+    fn code_regions(&self) -> Vec<CodeRegion> {
+        let region = match self.variant {
+            KernelVariant::Baseline => CODE_REGION_FC_BASELINE,
+            KernelVariant::SpikeStream => CODE_REGION_FC_SPIKESTREAM,
+        };
+        vec![region]
+    }
+
+    /// Run one fully connected layer on the cluster (lower + interpret).
     ///
     /// # Panics
     ///
@@ -69,6 +77,24 @@ impl FcKernel {
         input: &CompressedFcInput,
         state: &mut LifState,
     ) -> FcKernelOutput {
+        let (program, output) = self.lower(cluster.config(), layer, input, state);
+        execute_program(cluster, &program);
+        output
+    }
+
+    /// Lower one invocation into its exact stream program, computing the
+    /// functional results along the way.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`FcKernel::run`].
+    pub fn lower(
+        &self,
+        config: &ClusterConfig,
+        layer: &Layer,
+        input: &CompressedFcInput,
+        state: &mut LifState,
+    ) -> (StreamProgram, FcKernelOutput) {
         let LayerKind::Linear(spec) = &layer.kind else {
             panic!("FcKernel requires a fully connected layer");
         };
@@ -79,27 +105,25 @@ impl FcKernel {
         let groups = spec.out_features.div_ceil(lanes);
         let s_len = input.spike_count();
 
-        let plan =
-            TilingPlanner::new(cluster.config()).plan_linear(spec, self.format, s_len.max(1));
-        plan.issue_dma(cluster);
+        let plan = TilingPlanner::new(config).plan_linear(spec, self.format, s_len.max(1));
         let weights_base = plan.weights.base;
         let idcs_base = plan.ifmap_idcs.base;
         let state_base = plan.neuron_state.base;
-        let spm_bytes = cluster.config().spm_bytes.max(1);
+        let spm_bytes = config.spm_bytes.max(1);
 
-        let (region_id, region_bytes) = match self.variant {
-            KernelVariant::Baseline => CODE_REGION_FC_BASELINE,
-            KernelVariant::SpikeStream => CODE_REGION_FC_SPIKESTREAM,
-        };
+        let mut program = StreamProgram::new(&layer.name, self.format);
+        for dma in plan.dma_in_phases() {
+            program.push(Phase::Dma(dma));
+        }
 
-        let mut scheduler = WorkStealingScheduler::new(cluster.worker_cores());
         let mut currents = vec![0.0f32; spec.out_features];
         let mut spikes = vec![false; spec.out_features];
+        let mut items = Vec::with_capacity(groups);
+        // Every SIMD group gathers through the same active-input list; the
+        // program holds it once, shared across groups.
+        let idcs = IndexStream::exact(input.idcs().iter().map(|&i| i as u32));
 
         for g in 0..groups {
-            let core = scheduler.claim(cluster);
-            cluster.fetch_code(core, region_id, region_bytes);
-
             // Functional accumulation for the group.
             for &i in input.idcs() {
                 for lane in 0..lanes {
@@ -112,92 +136,109 @@ impl FcKernel {
                 }
             }
 
-            let core_model = cluster.core_mut(core);
-            // Load the group's membrane potentials and compute its weight base.
-            core_model.exec(&TraceOp::Fp {
-                op: FpOp::Load,
-                format: self.format,
-                ssr_srcs: vec![],
-                addr: Some(state_base),
-            });
-            core_model.exec(&TraceOp::alu());
-            core_model.exec(&TraceOp::alu());
-
+            let mut ops = emit::claim();
+            emit::group_prologue(&mut ops, state_base);
             if s_len > 0 {
-                match self.variant {
-                    KernelVariant::Baseline => {
-                        let block = [
-                            TraceOp::load(idcs_base),
-                            TraceOp::alu(),
-                            TraceOp::alu(),
-                            TraceOp::Fp {
-                                op: FpOp::Load,
-                                format: self.format,
-                                ssr_srcs: vec![],
-                                addr: None,
-                            },
-                            TraceOp::alu(),
-                            TraceOp::alu(),
-                            TraceOp::fp(FpOp::Add, self.format),
-                            TraceOp::branch(),
-                        ];
-                        core_model.exec_repeated(&block, s_len as u64);
-                    }
-                    KernelVariant::SpikeStream => {
-                        let group_base = weights_base
-                            .wrapping_add(((g * lanes) as u32 * self.format.bytes()) % spm_bytes);
-                        core_model.exec(&TraceOp::SsrConfig {
-                            ssr: SsrId::Ssr0,
-                            pattern: StreamPattern::Indirect {
-                                index_base: idcs_base,
-                                index_bytes: INDEX_BYTES as u32,
-                                data_base: group_base,
-                                elem_bytes: (lanes as u32) * self.format.bytes(),
-                                indices: input.idcs().iter().map(|&i| i as u32).collect(),
-                            },
-                            shadow: true,
-                        });
-                        core_model.exec(&TraceOp::Frep {
-                            reps: s_len as u32,
-                            body: vec![TraceOp::fp_streamed(FpOp::Add, self.format, SsrId::Ssr0)],
-                        });
-                    }
-                }
+                ops.push(match self.variant {
+                    KernelVariant::Baseline => emit::baseline_spva(idcs_base, s_len as f64),
+                    KernelVariant::SpikeStream => emit::streamed_spva(
+                        idcs_base,
+                        weights_base
+                            .wrapping_add(((g * lanes) as u32 * self.format.bytes()) % spm_bytes),
+                        lanes as u32 * self.format.bytes(),
+                        idcs.clone(),
+                    ),
+                });
             }
 
             // Fused LIF activation and compressed output update.
-            core_model.exec(&TraceOp::fp(FpOp::Fma, self.format));
-            core_model.exec(&TraceOp::fp(FpOp::Cmp, self.format));
-            core_model.exec(&TraceOp::Int { op: IntOp::Move, addr: None });
+            emit::activation_head(&mut ops);
             for lane in 0..lanes {
                 let o = g * lanes + lane;
                 if o >= spec.out_features {
                     break;
                 }
-                core_model.exec(&TraceOp::alu());
-                core_model.exec(&TraceOp::branch());
+                emit::lane_unpack(&mut ops);
                 let current = self.format.quantize(currents[o]);
-                let fired = state.step_single(&layer.lif, o, current);
-                if fired {
+                if state.step_single(&layer.lif, o, current) {
                     spikes[o] = true;
-                    core_model.exec(&TraceOp::store(idcs_base));
-                    core_model.exec(&TraceOp::Int { op: IntOp::Amo, addr: Some(idcs_base) });
+                    emit::fired_update(&mut ops, idcs_base, idcs_base);
                 }
             }
-            core_model.exec(&TraceOp::Fp {
-                op: FpOp::Store,
-                format: self.format,
-                ssr_srcs: vec![],
-                addr: Some(state_base),
-            });
+            emit::state_writeback(&mut ops, state_base);
+            items.push(WorkItem::new(ops));
         }
-
-        for core in 0..cluster.worker_cores() {
-            cluster.core_mut(core).exec(&TraceOp::Barrier);
+        program.push(Phase::Compute(ComputePhase { code: self.code_regions(), items }));
+        for dma in plan.dma_out_phases() {
+            program.push(Phase::Dma(dma));
         }
 
         let compressed = CompressedFcInput::from_spikes(&spikes);
-        FcKernelOutput { currents, spikes, compressed }
+        (program, FcKernelOutput { currents, spikes, compressed })
+    }
+
+    /// Symbolic lowering from expected firing rates: one representative
+    /// group replicated over all SIMD groups with an expected-length
+    /// stream.
+    pub fn lower_symbolic(
+        &self,
+        config: &ClusterConfig,
+        label: &str,
+        spec: &LinearSpec,
+        input_rate: f64,
+        output_rate: f64,
+    ) -> StreamProgram {
+        let lanes = self.format.simd_lanes() as usize;
+        let groups = spec.out_features.div_ceil(lanes);
+        let input_rate = input_rate.clamp(0.0, 1.0);
+        let output_rate = output_rate.clamp(0.0, 1.0);
+        let s_len = spec.in_features as f64 * input_rate;
+
+        let plan = TilingPlanner::new(config).plan_linear(
+            spec,
+            self.format,
+            (s_len.round() as usize).max(1),
+        );
+        let weights_base = plan.weights.base;
+        let idcs_base = plan.ifmap_idcs.base;
+        let state_base = plan.neuron_state.base;
+
+        let mut program = StreamProgram::new(label, self.format);
+        for dma in plan.dma_in_phases() {
+            program.push(Phase::Dma(dma));
+        }
+
+        let mut ops = emit::claim();
+        emit::group_prologue(&mut ops, state_base);
+        if s_len > 0.0 {
+            ops.push(match self.variant {
+                KernelVariant::Baseline => emit::baseline_spva(idcs_base, s_len),
+                KernelVariant::SpikeStream => emit::streamed_spva(
+                    idcs_base,
+                    weights_base,
+                    lanes as u32 * self.format.bytes(),
+                    IndexStream::Expected(s_len),
+                ),
+            });
+        }
+        emit::activation_head(&mut ops);
+        emit::activation_tail_symbolic(
+            &mut ops,
+            lanes as f64,
+            lanes as f64 * output_rate,
+            idcs_base,
+            idcs_base,
+        );
+        emit::state_writeback(&mut ops, state_base);
+
+        program.push(Phase::Compute(ComputePhase {
+            code: self.code_regions(),
+            items: vec![WorkItem::replicated(groups as f64, ops)],
+        }));
+        for dma in plan.dma_out_phases() {
+            program.push(Phase::Dma(dma));
+        }
+        program
     }
 }
 

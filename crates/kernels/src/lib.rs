@@ -1,7 +1,7 @@
 //! SNN inference kernels for the Snitch cluster.
 //!
-//! This crate implements the paper's two code variants as drivers of the
-//! `snitch-sim` timing model:
+//! This crate implements the paper's two code variants as *emitters* onto
+//! the unified stream-program IR (`spikestream-ir`):
 //!
 //! * the **baseline** kernel (Section III-A to III-D): compressed ifmaps,
 //!   task parallelization with workload stealing, SIMD data parallelism
@@ -12,32 +12,37 @@
 //!   registers and FREP hardware loops (Listing 1c), and the dense
 //!   spike-encoding first layer mapped onto two affine SSRs.
 //!
-//! Both variants are functionally identical; they differ only in the
-//! instruction structure they emit, which is what produces the paper's
-//! utilization and speedup differences.
+//! Every kernel *lowers* a layer invocation into a
+//! [`StreamProgram`](spikestream_ir::StreamProgram) — in **exact** form
+//! from a concrete compressed input (interpreted on the `snitch-sim`
+//! cluster by the cycle-level backend), or in **symbolic** form from
+//! expected firing rates (integrated by
+//! [`CostIntegrator`](spikestream_ir::CostIntegrator) in the analytic
+//! backend). Both variants are functionally identical; they differ only in
+//! the instruction structure they emit, which is what produces the paper's
+//! utilization and speedup differences. The shared op templates live in
+//! the private `emit` module, so the inner-loop structure of Listings
+//! 1a-1c is written down exactly once.
 //!
-//! For full-network, full-batch reproduction runs the crate also provides
-//! an [`analytic`] layer-timing model derived from the same architectural
-//! constants, cross-checked against the cycle-level kernels in the tests.
-//!
-//! Execution backends drive the cycle-level kernels through the uniform
+//! Execution backends drive the kernels through the uniform
 //! [`executor::LayerExecutor`] entry point rather than invoking
-//! [`ConvKernel`], [`FcKernel`] and [`DenseEncodingKernel`] directly.
+//! [`ConvKernel`], [`FcKernel`], [`PoolKernel`] and
+//! [`DenseEncodingKernel`] directly.
 
-pub mod analytic;
+mod emit;
+
 pub mod conv;
 pub mod dense;
 pub mod executor;
 pub mod fc;
-pub mod schedule;
+pub mod pool;
 pub mod tiling;
 
-pub use analytic::{AnalyticLayerModel, LayerTiming};
 pub use conv::{ConvKernel, ConvKernelOutput};
 pub use dense::DenseEncodingKernel;
 pub use executor::{LayerExecution, LayerExecutor, LayerInput, LayerScratch};
 pub use fc::FcKernel;
-pub use schedule::WorkStealingScheduler;
+pub use pool::{PoolKernel, PoolKernelOutput};
 pub use tiling::{LayerTilePlan, TilingPlanner};
 
 use serde::{Deserialize, Serialize};

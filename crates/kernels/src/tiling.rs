@@ -5,17 +5,17 @@
 //! 128 KiB scratchpad, with weights double-buffered first and ifmaps second
 //! so that a compressed ofmap tile is fully populated before it is copied
 //! back out. The planner computes how many weight tiles a layer needs and
-//! the DMA traffic of one layer invocation; the kernels issue that traffic
-//! on the cluster's DMA engine so that compute/transfer overlap (or the
-//! lack of it) shows up in the phase statistics.
+//! the DMA traffic of one layer invocation; the kernels emit that traffic
+//! as annotated stream-program DMA phases so that compute/transfer overlap
+//! (or the lack of it) shows up in the phase statistics.
 
 use snitch_arch::fp::FpFormat;
 use snitch_arch::ClusterConfig;
 use snitch_mem::dma::{DmaDirection, DmaRequest};
 use snitch_mem::{SpmAllocator, SpmBuffer};
-use snitch_sim::ClusterModel;
+use spikestream_ir::DmaPhase;
 use spikestream_snn::compress::INDEX_BYTES;
-use spikestream_snn::{CompressedIfmap, ConvSpec, LinearSpec};
+use spikestream_snn::{CompressedIfmap, ConvSpec, LinearSpec, PoolSpec};
 
 /// Scratchpad addresses and DMA traffic of one layer invocation.
 #[derive(Debug, Clone)]
@@ -30,7 +30,8 @@ pub struct LayerTilePlan {
     pub neuron_state: SpmBuffer,
     /// Worst-case compressed ofmap buffer.
     pub ofmap: SpmBuffer,
-    /// Number of weight tiles the layer is split into (>= 1).
+    /// Number of weight tiles the layer is split into (0 for weight-less
+    /// layers such as pooling).
     pub weight_tiles: usize,
     /// Inbound DMA requests (weights + ifmap + neuron state).
     pub dma_in: Vec<DmaRequest>,
@@ -39,21 +40,6 @@ pub struct LayerTilePlan {
 }
 
 impl LayerTilePlan {
-    /// Issue the plan's DMA traffic on the cluster's DMA engine.
-    ///
-    /// The initial tile load starts at cycle 0; every subsequent transfer is
-    /// double-buffered behind it. The phase statistics then reflect whether
-    /// the layer is compute- or transfer-bound.
-    pub fn issue_dma(&self, cluster: &mut ClusterModel) {
-        let mut now = 0;
-        for req in &self.dma_in {
-            now = cluster.dma_issue(req.clone(), now);
-        }
-        for req in &self.dma_out {
-            now = cluster.dma_issue(req.clone(), now);
-        }
-    }
-
     /// Total bytes moved into the scratchpad.
     pub fn bytes_in(&self) -> u64 {
         self.dma_in.iter().map(|r| r.total_bytes()).sum()
@@ -62,6 +48,45 @@ impl LayerTilePlan {
     /// Total bytes moved out of the scratchpad.
     pub fn bytes_out(&self) -> u64 {
         self.dma_out.iter().map(|r| r.total_bytes()).sum()
+    }
+
+    /// The plan's inbound transfers as annotated stream-program DMA
+    /// phases, emitted *before* the compute phase: the first weight tile,
+    /// the compressed ifmap and the neuron state are prologue loads the
+    /// compute stream waits for; the remaining weight tiles are
+    /// double-buffered behind compute.
+    pub fn dma_in_phases(&self) -> Vec<DmaPhase> {
+        self.dma_in
+            .iter()
+            .enumerate()
+            .map(|(i, req)| DmaPhase {
+                direction: req.direction,
+                row_bytes: req.row_bytes,
+                rows: req.rows,
+                row_stride_overhead: req.row_stride_overhead,
+                double_buffered: i > 0 && i < self.weight_tiles,
+            })
+            .collect()
+    }
+
+    /// The plan's outbound transfers, emitted *after* the compute phase:
+    /// the compressed ofmap rows stream out as they are produced
+    /// (double-buffered, so the engine issues them as early as it is free)
+    /// while the final membrane write-back is an epilogue transfer that
+    /// waits for the last group to complete.
+    pub fn dma_out_phases(&self) -> Vec<DmaPhase> {
+        let last_out = self.dma_out.len().saturating_sub(1);
+        self.dma_out
+            .iter()
+            .enumerate()
+            .map(|(i, req)| DmaPhase {
+                direction: req.direction,
+                row_bytes: req.row_bytes,
+                rows: req.rows,
+                row_stride_overhead: req.row_stride_overhead,
+                double_buffered: i < last_out,
+            })
+            .collect()
     }
 }
 
@@ -77,23 +102,70 @@ impl TilingPlanner {
         TilingPlanner { config: config.clone() }
     }
 
-    /// Plan one convolutional layer invocation.
+    /// Plan one convolutional layer invocation from a concrete compressed
+    /// input.
     pub fn plan_conv(
         &self,
         spec: &ConvSpec,
         format: FpFormat,
         input: &CompressedIfmap,
     ) -> LayerTilePlan {
+        self.plan_conv_spikes(spec, format, input.spike_count())
+    }
+
+    /// Plan one convolutional layer invocation from an ifmap spike count —
+    /// the entry point shared by the exact lowering (realized count) and
+    /// the symbolic lowering (expected count), so both backends see the
+    /// same scratchpad layout and DMA traffic by construction.
+    pub fn plan_conv_spikes(
+        &self,
+        spec: &ConvSpec,
+        format: FpFormat,
+        ifmap_spikes: usize,
+    ) -> LayerTilePlan {
         let elem = format.bytes() as usize;
         let weight_bytes = spec.weight_count() * elem;
-        let idcs_bytes = input.c_idcs().len() * INDEX_BYTES;
-        let sptr_bytes = input.s_ptr().len() * INDEX_BYTES;
+        let idcs_bytes = ifmap_spikes * INDEX_BYTES;
+        let padded = spec.padded_input();
+        let sptr_bytes = (padded.h * padded.w + 1) * INDEX_BYTES;
         let out = spec.conv_output();
         let state_bytes = out.len() * 4; // membrane potentials kept in FP32
 
         // Worst-case (zero-sparsity) compressed ofmap allocation.
         let ofmap_bytes = out.len() * INDEX_BYTES + (out.h * out.w + 1) * INDEX_BYTES;
         self.plan(weight_bytes, idcs_bytes, sptr_bytes, state_bytes, ofmap_bytes, out.h)
+    }
+
+    /// Plan one average-pooling layer invocation: the dense spike tile in,
+    /// the worst-case compressed output back out, no weights.
+    pub fn plan_pool(&self, spec: &PoolSpec) -> LayerTilePlan {
+        let in_bytes = spec.input.len(); // one byte per binary neuron
+        let out = spec.output();
+        let ofmap_bytes = out.len() * INDEX_BYTES + (out.h * out.w + 1) * INDEX_BYTES;
+
+        let mut alloc = SpmAllocator::new(&self.config);
+        let mut grab = |bytes: usize| -> SpmBuffer {
+            alloc
+                .alloc(bytes.min(alloc.free() as usize).max(8) as u32)
+                .unwrap_or(SpmBuffer { base: 0, bytes: 0 })
+        };
+        let ifmap_idcs = grab(in_bytes);
+        let ofmap = grab(ofmap_bytes);
+
+        LayerTilePlan {
+            weights: SpmBuffer { base: 0, bytes: 0 },
+            ifmap_idcs,
+            ifmap_sptr: SpmBuffer { base: 0, bytes: 0 },
+            neuron_state: SpmBuffer { base: 0, bytes: 0 },
+            ofmap,
+            weight_tiles: 0,
+            dma_in: vec![DmaRequest::contiguous(DmaDirection::In, in_bytes as u64)],
+            dma_out: vec![DmaRequest::strided_2d(
+                DmaDirection::Out,
+                (ofmap_bytes / out.h.max(1)) as u64,
+                out.h as u64,
+            )],
+        }
     }
 
     /// Plan one fully connected layer invocation.
@@ -242,16 +314,33 @@ mod tests {
     }
 
     #[test]
-    fn issuing_dma_populates_cluster_statistics() {
-        let spec = small_conv();
+    fn dma_phase_annotations_follow_the_double_buffer_scheme() {
+        let spec = ConvSpec {
+            input: TensorShape::new(8, 8, 512),
+            out_channels: 512,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            pool: false,
+        };
         let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
         let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input);
-        let mut cluster =
-            ClusterModel::new(ClusterConfig::default(), snitch_arch::CostModel::default());
-        plan.issue_dma(&mut cluster);
-        let stats = cluster.finish_phase("dma-only");
-        assert_eq!(stats.dma_bytes_in, plan.bytes_in());
-        assert_eq!(stats.dma_bytes_out, plan.bytes_out());
-        assert!(stats.cycles > 0);
+        let ins = plan.dma_in_phases();
+        let outs = plan.dma_out_phases();
+
+        // Prologue: first weight tile + ifmap + state; every further weight
+        // tile is double-buffered behind compute.
+        assert_eq!(ins.len(), plan.weight_tiles + 2);
+        assert!(!ins[0].double_buffered, "first weight tile gates compute");
+        assert!(ins[1..plan.weight_tiles].iter().all(|p| p.double_buffered));
+        assert!(ins[plan.weight_tiles..].iter().all(|p| !p.double_buffered));
+        // Ofmap rows stream out as produced; the membrane write-back is the
+        // epilogue transfer.
+        assert!(outs[0].double_buffered);
+        assert!(!outs.last().unwrap().double_buffered);
+        // Byte totals agree with the raw request lists.
+        assert_eq!(ins.iter().map(|p| p.total_bytes()).sum::<u64>(), plan.bytes_in());
+        assert_eq!(outs.iter().map(|p| p.total_bytes()).sum::<u64>(), plan.bytes_out());
     }
 }

@@ -12,10 +12,12 @@
 //! the global-memory bandwidth. Transfers complete asynchronously so the
 //! kernels can overlap them with computation.
 
+use serde::{Deserialize, Serialize};
+
 use snitch_arch::ClusterConfig;
 
 /// Direction of a DMA transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DmaDirection {
     /// Global memory -> scratchpad (tile load).
     In,
@@ -24,7 +26,7 @@ pub enum DmaDirection {
 }
 
 /// A DMA transfer request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DmaRequest {
     /// Transfer direction.
     pub direction: DmaDirection,
@@ -129,6 +131,15 @@ impl DmaEngine {
     /// Cycle until which the engine is busy.
     pub fn busy_until(&self) -> u64 {
         self.busy_until
+    }
+
+    /// Summed duration of every issued transfer — the engine's total busy
+    /// time, as opposed to [`Self::busy_until`] which is the completion
+    /// *cycle* of the last transfer. The difference between `busy_until`
+    /// and a phase's compute time plus `busy_cycles` is what double
+    /// buffering hides.
+    pub fn busy_cycles(&self) -> u64 {
+        self.transfers.iter().map(DmaTransfer::duration).sum()
     }
 
     /// All transfers issued so far, in issue order.

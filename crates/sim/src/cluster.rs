@@ -22,11 +22,17 @@ pub struct PhaseStats {
     /// Phase label (for example the layer name).
     pub label: String,
     /// Phase duration in cycles: slowest worker core or DMA completion.
+    /// Guaranteed nonzero (an empty phase reports one cycle).
     pub cycles: u64,
-    /// Duration of the compute part only (slowest worker core).
+    /// Duration of the compute part only (slowest worker core). Guaranteed
+    /// nonzero, so downstream consumers never have to clamp.
     pub compute_cycles: u64,
     /// Cycle at which the DMA engine finished its last transfer.
     pub dma_cycles: u64,
+    /// Summed duration of all DMA transfers. The gap between
+    /// `compute_cycles + dma_busy_cycles` and `cycles` is the transfer time
+    /// double buffering hid behind compute.
+    pub dma_busy_cycles: u64,
     /// Average per-core FPU utilization (0..=1).
     pub fpu_utilization: f64,
     /// Average per-core instructions per cycle.
@@ -112,13 +118,33 @@ impl ClusterModel {
         }
     }
 
+    /// Block every worker core until `cycle` waiting for prologue DMA tile
+    /// loads (the program interpreter's double-buffer serialization point).
+    pub fn stall_cores_until_dma(&mut self, cycle: u64) {
+        for core in &mut self.cores {
+            core.stall_until_dma(cycle);
+        }
+    }
+
+    /// The worker core whose pipeline is least advanced in time — the core
+    /// that steals the next work item under workload stealing.
+    pub fn least_busy_core(&self) -> usize {
+        (0..self.cores.len())
+            .min_by_key(|&i| self.cores[i].counters().total_cycles().max(self.cores[i].int_time()))
+            .expect("cluster has at least one core")
+    }
+
     /// Close the current phase: aggregate all per-core counters and the DMA
     /// activity into a [`PhaseStats`], then reset the cores and the DMA
     /// engine for the next phase. The instruction cache keeps its contents
     /// (kernels stay resident across layers).
+    ///
+    /// The returned `cycles` and `compute_cycles` are guaranteed nonzero:
+    /// even an empty phase costs one cycle, which lets downstream consumers
+    /// divide by phase durations without clamping.
     pub fn finish_phase(&mut self, label: impl Into<String>) -> PhaseStats {
         let compute_cycles =
-            self.cores.iter().map(|c| c.counters().total_cycles()).max().unwrap_or(0);
+            self.cores.iter().map(|c| c.counters().total_cycles()).max().unwrap_or(0).max(1);
         let dma_cycles = self.dma.busy_until();
         let cycles = compute_cycles.max(dma_cycles);
 
@@ -142,6 +168,7 @@ impl ClusterModel {
             cycles,
             compute_cycles,
             dma_cycles,
+            dma_busy_cycles: self.dma.busy_cycles(),
             fpu_utilization: util_sum / n,
             ipc: ipc_sum / n,
             totals,
@@ -214,9 +241,10 @@ mod tests {
         cl.core_mut(0).exec(&TraceOp::alu());
         cl.dma_issue(DmaRequest::contiguous(DmaDirection::Out, 4096), 0);
         let first = cl.finish_phase("a");
-        assert!(first.cycles > 0);
+        assert!(first.cycles > 1);
         let second = cl.finish_phase("b");
-        assert_eq!(second.cycles, 0);
+        assert_eq!(second.cycles, 1, "empty phases report the guaranteed one cycle");
+        assert_eq!(second.compute_cycles, 1);
         assert_eq!(second.dma_bytes_out, 0);
     }
 
@@ -237,6 +265,7 @@ mod tests {
             cycles: 1_000_000,
             compute_cycles: 1_000_000,
             dma_cycles: 0,
+            dma_busy_cycles: 0,
             fpu_utilization: 0.5,
             ipc: 1.0,
             totals: PerfCounters::new(),

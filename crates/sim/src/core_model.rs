@@ -18,12 +18,6 @@ use snitch_mem::BankConflictModel;
 
 use crate::counters::PerfCounters;
 
-/// Expected extra stall cycles per scratchpad access caused by contention
-/// with the other cores of the cluster. The value is a calibration constant:
-/// with eight cores issuing roughly two stream accesses per cycle into 32
-/// banks, a few percent of accesses lose arbitration.
-const DEFAULT_CROSS_CONFLICT_PER_ACCESS: f64 = 0.04;
-
 /// Maximum number of FREP regions the integer core may queue ahead of the
 /// FPU before it stalls on the sequencer buffer.
 const MAX_OUTSTANDING_FREPS: usize = 2;
@@ -53,11 +47,12 @@ pub struct WorkerCoreModel {
 impl WorkerCoreModel {
     /// Create a core model.
     pub fn new(config: &ClusterConfig, cost: CostModel, core_id: usize) -> Self {
+        let cross_conflict_per_access = cost.cross_conflict_per_access;
         WorkerCoreModel {
             core_id,
             cost,
             banks: BankConflictModel::new(config),
-            cross_conflict_per_access: DEFAULT_CROSS_CONFLICT_PER_ACCESS,
+            cross_conflict_per_access,
             int_time: 0,
             fpu_time: 0,
             outstanding_freps: VecDeque::new(),
@@ -189,6 +184,16 @@ impl WorkerCoreModel {
         self.int_time += cycles;
         self.counters.stall_icache += cycles;
         self.counters.int_cycles = self.int_time;
+    }
+
+    /// Block the integer pipeline until `cycle` waiting for a prologue DMA
+    /// tile load (no effect if the core is already past that point).
+    pub fn stall_until_dma(&mut self, cycle: u64) {
+        if cycle > self.int_time {
+            self.counters.stall_dma_wait += cycle - self.int_time;
+            self.int_time = cycle;
+            self.counters.int_cycles = self.int_time;
+        }
     }
 
     /// Counters accumulated so far.

@@ -18,18 +18,21 @@ pub enum StallCause {
     SsrDrain,
     /// Integer core blocked because the FPU sequencer buffer is full.
     SequencerFull,
+    /// Core waiting for a prologue DMA tile load before starting compute.
+    DmaWait,
     /// FPU idle waiting for stream data or for the integer core.
     FpuStarved,
 }
 
 impl StallCause {
     /// Every stall cause, for iteration in reports.
-    pub fn all() -> [StallCause; 5] {
+    pub fn all() -> [StallCause; 6] {
         [
             StallCause::BankConflict,
             StallCause::IcacheMiss,
             StallCause::SsrDrain,
             StallCause::SequencerFull,
+            StallCause::DmaWait,
             StallCause::FpuStarved,
         ]
     }
@@ -62,6 +65,8 @@ pub struct PerfCounters {
     pub stall_ssr_drain: u64,
     /// Stall cycles with the integer core blocked on a full sequencer buffer.
     pub stall_sequencer_full: u64,
+    /// Stall cycles waiting for prologue DMA tile loads.
+    pub stall_dma_wait: u64,
 }
 
 impl PerfCounters {
@@ -102,6 +107,7 @@ impl PerfCounters {
             + self.stall_icache
             + self.stall_ssr_drain
             + self.stall_sequencer_full
+            + self.stall_dma_wait
     }
 
     /// Stall cycles attributed to a specific cause.
@@ -111,6 +117,7 @@ impl PerfCounters {
             StallCause::IcacheMiss => self.stall_icache,
             StallCause::SsrDrain => self.stall_ssr_drain,
             StallCause::SequencerFull => self.stall_sequencer_full,
+            StallCause::DmaWait => self.stall_dma_wait,
             StallCause::FpuStarved => self.total_cycles().saturating_sub(self.fpu_busy_cycles),
         }
     }
@@ -130,6 +137,7 @@ impl PerfCounters {
         self.stall_icache += other.stall_icache;
         self.stall_ssr_drain += other.stall_ssr_drain;
         self.stall_sequencer_full += other.stall_sequencer_full;
+        self.stall_dma_wait += other.stall_dma_wait;
     }
 }
 

@@ -17,9 +17,12 @@
 //!   double buffering.
 //!
 //! The unit of execution is a *phase* (typically: one network layer). The
-//! kernels drive one [`WorkerCoreModel`] per core, then the
-//! [`ClusterModel`] aggregates per-core counters into a
-//! [`PhaseStats`], accounting for compute/DMA overlap.
+//! kernels lower each layer into a `spikestream_ir::StreamProgram` that
+//! [`execute_program`] interprets on the cluster: work items are
+//! distributed over the [`WorkerCoreModel`]s by workload stealing, DMA
+//! phases overlap compute according to their double-buffer annotations,
+//! and the [`ClusterModel`] finally aggregates per-core counters into a
+//! [`PhaseStats`].
 //!
 //! Above the single cluster, [`shard`] models a *fleet* of N independent
 //! cluster replicas ([`ClusterShard`]) with least-loaded sample dispatch
@@ -43,9 +46,11 @@
 pub mod cluster;
 pub mod core_model;
 pub mod counters;
+pub mod program;
 pub mod shard;
 
 pub use cluster::{ClusterModel, PhaseStats};
 pub use core_model::WorkerCoreModel;
 pub use counters::{PerfCounters, StallCause};
+pub use program::execute_program;
 pub use shard::{ClusterShard, ShardSet};

@@ -74,6 +74,41 @@ impl ConvSpec {
     }
 }
 
+/// Geometry of a spike average-pooling layer.
+///
+/// Average pooling over binary spikes reduces each `window x window`
+/// neighbourhood to one output neuron per channel that fires when the
+/// window's average activity reaches one half (i.e. at least
+/// `ceil(window^2 / 2)` of its inputs spiked). Unlike the 2x2 max-pool
+/// fused into the conv kernels, this is a standalone layer with its own
+/// stream-program emitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Input feature-map shape (no padding).
+    pub input: TensorShape,
+    /// Pooling window edge length (stride equals the window).
+    pub window: usize,
+}
+
+impl PoolSpec {
+    /// Output shape of the pooling layer.
+    pub fn output(&self) -> TensorShape {
+        TensorShape::new(self.input.h / self.window, self.input.w / self.window, self.input.c)
+    }
+
+    /// Dense synaptic operations of one timestep (one accumulation per
+    /// window input).
+    pub fn dense_synops(&self) -> u64 {
+        (self.output().len() * self.window * self.window) as u64
+    }
+
+    /// Minimum number of active window inputs for the output to fire
+    /// (average activity >= 0.5).
+    pub fn fire_threshold(&self) -> usize {
+        self.window * self.window / 2 + self.window * self.window % 2
+    }
+}
+
 /// Geometry of a spiking fully connected layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinearSpec {
@@ -105,6 +140,8 @@ impl LinearSpec {
 pub enum LayerKind {
     /// Spiking 2D convolution.
     Conv(ConvSpec),
+    /// Spike average pooling.
+    AvgPool(PoolSpec),
     /// Spiking fully connected layer.
     Linear(LinearSpec),
 }
@@ -114,6 +151,7 @@ impl LayerKind {
     pub fn weight_count(&self) -> usize {
         match self {
             LayerKind::Conv(c) => c.weight_count(),
+            LayerKind::AvgPool(_) => 0,
             LayerKind::Linear(l) => l.weight_count(),
         }
     }
@@ -122,6 +160,7 @@ impl LayerKind {
     pub fn dense_synops(&self) -> u64 {
         match self {
             LayerKind::Conv(c) => c.dense_synops(),
+            LayerKind::AvgPool(p) => p.dense_synops(),
             LayerKind::Linear(l) => l.dense_synops(),
         }
     }
@@ -130,6 +169,7 @@ impl LayerKind {
     pub fn output_neurons(&self) -> usize {
         match self {
             LayerKind::Conv(c) => c.conv_output().len(),
+            LayerKind::AvgPool(p) => p.output().len(),
             LayerKind::Linear(l) => l.out_features,
         }
     }
@@ -215,6 +255,18 @@ mod tests {
         assert_eq!(s.weight_index(0, 0, 0, 1), 1);
         assert_eq!(s.weight_index(0, 0, 1, 0), 64);
         assert_eq!(s.weight_index(0, 1, 0, 0), 3 * 64);
+    }
+
+    #[test]
+    fn avg_pool_shapes_and_threshold() {
+        let p = PoolSpec { input: TensorShape::new(8, 8, 16), window: 2 };
+        assert_eq!(p.output(), TensorShape::new(4, 4, 16));
+        assert_eq!(p.dense_synops(), (4 * 4 * 16 * 4) as u64);
+        assert_eq!(p.fire_threshold(), 2, "2 of 4 inputs reach a 0.5 average");
+        let p3 = PoolSpec { input: TensorShape::new(9, 9, 4), window: 3 };
+        assert_eq!(p3.fire_threshold(), 5, "5 of 9 inputs reach a 0.5 average");
+        assert_eq!(LayerKind::AvgPool(p).weight_count(), 0);
+        assert_eq!(LayerKind::AvgPool(p).output_neurons(), 4 * 4 * 16);
     }
 
     #[test]

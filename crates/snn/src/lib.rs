@@ -26,7 +26,7 @@ pub mod tensor;
 pub mod workload;
 
 pub use compress::{AerEvent, AerFrame, CompressedFcInput, CompressedIfmap};
-pub use layer::{ConvSpec, Layer, LayerKind, LinearSpec};
+pub use layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
 pub use model::{Network, NetworkBuilder};
 pub use neuron::{LifParams, LifState};
 pub use reference::ReferenceEngine;

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::layer::{ConvSpec, Layer, LayerKind, LinearSpec};
+use crate::layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
 use crate::neuron::LifParams;
 use crate::tensor::TensorShape;
 
@@ -57,6 +57,7 @@ impl Network {
         for layer in &self.layers {
             let in_features = match &layer.kind {
                 LayerKind::Conv(c) => c.input.len(),
+                LayerKind::AvgPool(p) => p.input.len(),
                 LayerKind::Linear(l) => l.in_features,
             };
             if let Some(prev) = prev_out {
@@ -69,6 +70,7 @@ impl Network {
             }
             prev_out = Some(match &layer.kind {
                 LayerKind::Conv(c) => c.output().len(),
+                LayerKind::AvgPool(p) => p.output().len(),
                 LayerKind::Linear(l) => l.out_features,
             });
         }
@@ -131,6 +133,12 @@ impl NetworkBuilder {
         self
     }
 
+    /// Append a spike average-pooling layer.
+    pub fn avg_pool(mut self, name: &str, spec: PoolSpec, lif: LifParams) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::AvgPool(spec), lif));
+        self
+    }
+
     /// Append a fully connected layer.
     pub fn linear(mut self, name: &str, spec: LinearSpec, lif: LifParams) -> Self {
         self.layers.push(Layer::new(name, LayerKind::Linear(spec), lif));
@@ -166,7 +174,7 @@ mod tests {
             .iter()
             .filter_map(|l| match &l.kind {
                 LayerKind::Conv(c) => Some(c.padded_input()),
-                LayerKind::Linear(_) => None,
+                LayerKind::AvgPool(_) | LayerKind::Linear(_) => None,
             })
             .collect();
         assert_eq!(shapes[0], TensorShape::new(34, 34, 3));

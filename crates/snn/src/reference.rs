@@ -7,7 +7,7 @@
 //! input currents and output spikes (up to the rounding of the selected
 //! storage format).
 
-use crate::layer::{ConvSpec, Layer, LayerKind, LinearSpec};
+use crate::layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
 use crate::neuron::LifState;
 use crate::tensor::{SpikeMap, Tensor3, TensorShape};
 
@@ -129,6 +129,21 @@ impl ReferenceEngine {
         }
     }
 
+    /// One full average-pooling layer step: each output neuron fires when
+    /// the average activity of its window reaches one half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is not an average-pooling layer or the input shape
+    /// does not match the spec.
+    pub fn avg_pool_forward(&self, layer: &Layer, input: &SpikeMap) -> SpikeMap {
+        let LayerKind::AvgPool(spec) = &layer.kind else {
+            panic!("avg_pool_forward called on a non-pooling layer");
+        };
+        assert_eq!(input.shape(), spec.input, "input shape mismatch");
+        avg_pool(input, spec)
+    }
+
     /// One full fully connected layer step.
     pub fn linear_forward(&self, layer: &Layer, input: &[bool], state: &mut LifState) -> Vec<bool> {
         let LayerKind::Linear(spec) = &layer.kind else {
@@ -137,6 +152,31 @@ impl ReferenceEngine {
         let currents = self.linear_currents(layer, spec, input);
         state.step(&layer.lif, &currents)
     }
+}
+
+/// Average pooling of a binary spike map: an output neuron fires when at
+/// least [`PoolSpec::fire_threshold`] of its window inputs spiked (window
+/// average >= 0.5).
+pub fn avg_pool(map: &SpikeMap, spec: &PoolSpec) -> SpikeMap {
+    let out_shape = spec.output();
+    let mut out = SpikeMap::silent(out_shape);
+    let threshold = spec.fire_threshold();
+    for h in 0..out_shape.h {
+        for w in 0..out_shape.w {
+            for c in 0..out_shape.c {
+                let mut count = 0usize;
+                for dh in 0..spec.window {
+                    for dw in 0..spec.window {
+                        if map.get(spec.window * h + dh, spec.window * w + dw, c) {
+                            count += 1;
+                        }
+                    }
+                }
+                out.set(h, w, c, count >= threshold);
+            }
+        }
+    }
+    out
 }
 
 /// 2x2 max-pool of a binary spike map (logical OR over each window).
@@ -249,6 +289,22 @@ mod tests {
         assert!(out.get(0, 0, 0));
         assert!(out.get(1, 1, 0));
         assert!(!out.get(0, 1, 0));
+    }
+
+    #[test]
+    fn avg_pool_requires_half_the_window() {
+        let spec = PoolSpec { input: TensorShape::new(4, 4, 1), window: 2 };
+        let mut m = SpikeMap::silent(spec.input);
+        // Window (0,0): one of four spikes -> silent.
+        m.set(0, 0, 0, true);
+        // Window (0,1): two of four spikes -> fires.
+        m.set(0, 2, 0, true);
+        m.set(1, 3, 0, true);
+        let layer = Layer::new("pool", LayerKind::AvgPool(spec), LifParams::default());
+        let out = ReferenceEngine::new().avg_pool_forward(&layer, &m);
+        assert!(!out.get(0, 0, 0));
+        assert!(out.get(0, 1, 0));
+        assert_eq!(out.count_spikes(), 1);
     }
 
     #[test]

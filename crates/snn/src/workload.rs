@@ -109,6 +109,7 @@ impl WorkloadGenerator {
         for (idx, layer) in network.layers().iter().enumerate() {
             let input_shape = match &layer.kind {
                 LayerKind::Conv(c) => c.padded_input(),
+                LayerKind::AvgPool(p) => p.input,
                 LayerKind::Linear(l) => TensorShape::new(1, 1, l.in_features),
             };
             if idx == 0 {
@@ -116,6 +117,7 @@ impl WorkloadGenerator {
                 // image generator, the border stays zero.
                 let unpadded = match &layer.kind {
                     LayerKind::Conv(c) => c.input,
+                    LayerKind::AvgPool(p) => p.input,
                     LayerKind::Linear(l) => TensorShape::new(1, 1, l.in_features),
                 };
                 let inner = synthetic_image(unpadded, &mut rng);
@@ -123,7 +125,7 @@ impl WorkloadGenerator {
                     &inner,
                     match &layer.kind {
                         LayerKind::Conv(c) => c.padding,
-                        LayerKind::Linear(_) => 0,
+                        LayerKind::AvgPool(_) | LayerKind::Linear(_) => 0,
                     },
                 );
                 continue;
@@ -169,7 +171,7 @@ fn random_spike_map<R: Rng>(
     let mut map = SpikeMap::silent(shape);
     let padding = match kind {
         LayerKind::Conv(c) => c.padding,
-        LayerKind::Linear(_) => 0,
+        LayerKind::AvgPool(_) | LayerKind::Linear(_) => 0,
     };
     let silent_border = shape.h > 2 * padding;
     let positions: Vec<(usize, usize)> = (0..shape.h)

@@ -36,7 +36,7 @@ OPTIONS:
 const KEY_REFERENCE: &str = "\
 Scenario keys (all optional except the [scenario] header):
     name    = \"string\"         scenario name, used in output headers
-    network = \"svgg11\"         svgg11 | tiny-cnn
+    network = \"svgg11\"         svgg11 | tiny-cnn | tiny-pool
     variant = \"spikestream\"    baseline | spikestream
     format  = \"fp16\"           fp64 | fp32 | fp16 | fp8
     timing  = \"analytic\"       analytic | cycle-level

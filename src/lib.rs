@@ -10,5 +10,6 @@ pub use snitch_mem as mem;
 pub use snitch_sim as sim;
 pub use spikestream as core;
 pub use spikestream_energy as energy;
+pub use spikestream_ir as ir;
 pub use spikestream_kernels as kernels;
 pub use spikestream_snn as snn;

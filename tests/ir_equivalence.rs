@@ -1,0 +1,282 @@
+//! The IR equivalence contract: for every layer kind x `KernelVariant` x
+//! `FpFormat`, integrating the cost model over a kernel's *exact* stream
+//! program must match interpreting that same program on the cycle-level
+//! cluster — exactly for instruction / FLOP / stream-element / DMA-byte
+//! totals, and within a stated tolerance for cycle counts (the integrator
+//! distributes work stealing with the same greedy rule but in floating
+//! point, so tiny rounding reorders are allowed).
+//!
+//! This is what lets the analytic and cycle-level backends agree by
+//! construction instead of by parallel reimplementation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snitch_arch::{ClusterConfig, CostModel};
+use snitch_sim::{execute_program, ClusterModel, PhaseStats};
+use spikestream::{FpFormat, KernelVariant};
+use spikestream_ir::{CostIntegrator, ProgramCost, StreamProgram};
+use spikestream_kernels::{ConvKernel, DenseEncodingKernel, FcKernel, PoolKernel};
+use spikestream_snn::encoding::{pad_image, synthetic_image};
+use spikestream_snn::neuron::LifParams;
+use spikestream_snn::tensor::{SpikeMap, TensorShape};
+use spikestream_snn::{
+    CompressedFcInput, CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, LinearSpec, PoolSpec,
+};
+
+/// Relative cycle-count tolerance between integration and interpretation.
+const CYCLE_TOLERANCE: f64 = 0.05;
+
+const ALL_VARIANTS: [KernelVariant; 2] = [KernelVariant::Baseline, KernelVariant::SpikeStream];
+const ALL_FORMATS: [FpFormat; 3] = [FpFormat::Fp32, FpFormat::Fp16, FpFormat::Fp8];
+
+fn cluster() -> ClusterModel {
+    ClusterModel::new(ClusterConfig::default(), CostModel::default())
+}
+
+fn random_spikes(shape: TensorShape, rate: f64, border: usize, seed: u64) -> SpikeMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map = SpikeMap::silent(shape);
+    for h in border..shape.h.saturating_sub(border) {
+        for w in border..shape.w.saturating_sub(border) {
+            for c in 0..shape.c {
+                if rng.gen_bool(rate) {
+                    map.set(h, w, c, true);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Interpret and integrate one exact program; return both measurements.
+fn both_consumers(program: &StreamProgram) -> (PhaseStats, ProgramCost) {
+    let mut cl = cluster();
+    execute_program(&mut cl, program);
+    let stats = cl.finish_phase(&program.label);
+    let cost = CostIntegrator::snitch().integrate(program);
+    (stats, cost)
+}
+
+fn assert_equivalent(label: &str, stats: &PhaseStats, cost: &ProgramCost) {
+    assert_eq!(stats.totals.int_instrs as f64, cost.int_instrs, "{label}: int instrs");
+    assert_eq!(stats.totals.fp_instrs as f64, cost.fp_instrs, "{label}: fp instrs");
+    assert_eq!(stats.totals.flops as f64, cost.flops, "{label}: flops");
+    assert_eq!(
+        stats.totals.stream_elements as f64, cost.stream_elements,
+        "{label}: stream elements"
+    );
+    assert_eq!(stats.totals.ssr_configs as f64, cost.ssr_configs, "{label}: ssr configs");
+    assert_eq!(
+        stats.totals.fpu_busy_cycles as f64, cost.fpu_busy_cycles,
+        "{label}: fpu busy cycles"
+    );
+    assert_eq!(stats.dma_bytes_in, cost.dma_bytes_in, "{label}: dma bytes in");
+    assert_eq!(stats.dma_bytes_out, cost.dma_bytes_out, "{label}: dma bytes out");
+
+    let rel = (stats.compute_cycles as f64 - cost.compute_cycles as f64).abs()
+        / stats.compute_cycles as f64;
+    assert!(
+        rel <= CYCLE_TOLERANCE,
+        "{label}: compute cycles diverge by {:.2}% (sim {} vs integrator {})",
+        100.0 * rel,
+        stats.compute_cycles,
+        cost.compute_cycles
+    );
+}
+
+fn conv_program(
+    variant: KernelVariant,
+    format: FpFormat,
+    in_c: usize,
+    out_c: usize,
+    rate: f64,
+    seed: u64,
+) -> StreamProgram {
+    let spec = ConvSpec {
+        input: TensorShape::new(6, 6, in_c),
+        out_channels: out_c,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        pool: false,
+    };
+    let mut layer = Layer::new("conv", LayerKind::Conv(spec), LifParams::new(0.5, 0.2));
+    let mut rng = StdRng::seed_from_u64(seed);
+    layer.randomize_weights(&mut rng, 0.1);
+    let input =
+        CompressedIfmap::from_spike_map(&random_spikes(spec.padded_input(), rate, 1, seed ^ 1));
+    let mut state = LifState::new(spec.conv_output().len());
+    ConvKernel::new(variant, format).lower(&ClusterConfig::default(), &layer, &input, &mut state).0
+}
+
+fn dense_program(variant: KernelVariant, format: FpFormat, seed: u64) -> StreamProgram {
+    let spec = ConvSpec {
+        input: TensorShape::new(6, 6, 3),
+        out_channels: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        pool: false,
+    };
+    let mut layer = Layer::new("conv1", LayerKind::Conv(spec), LifParams::new(0.5, 0.3));
+    let mut rng = StdRng::seed_from_u64(seed);
+    layer.randomize_weights(&mut rng, 0.2);
+    let image = pad_image(&synthetic_image(spec.input, &mut rng), spec.padding);
+    let mut state = LifState::new(spec.conv_output().len());
+    DenseEncodingKernel::new(variant, format)
+        .lower(&ClusterConfig::default(), &layer, &image, &mut state)
+        .0
+}
+
+fn fc_program(variant: KernelVariant, format: FpFormat, rate: f64, seed: u64) -> StreamProgram {
+    let spec = LinearSpec { in_features: 128, out_features: 24 };
+    let mut layer = Layer::new("fc", LayerKind::Linear(spec), LifParams::new(0.5, 0.15));
+    let mut rng = StdRng::seed_from_u64(seed);
+    layer.randomize_weights(&mut rng, 0.1);
+    let spikes: Vec<bool> = (0..spec.in_features).map(|_| rng.gen_bool(rate)).collect();
+    let input = CompressedFcInput::from_spikes(&spikes);
+    let mut state = LifState::new(spec.out_features);
+    FcKernel::new(variant, format).lower(&ClusterConfig::default(), &layer, &input, &mut state).0
+}
+
+fn pool_program(variant: KernelVariant, format: FpFormat, rate: f64, seed: u64) -> StreamProgram {
+    let spec = PoolSpec { input: TensorShape::new(8, 8, 12), window: 2 };
+    let layer = Layer::new("pool", LayerKind::AvgPool(spec), LifParams::default());
+    let input = random_spikes(spec.input, rate, 0, seed);
+    PoolKernel::new(variant, format).lower(&ClusterConfig::default(), &layer, &input).0
+}
+
+#[test]
+fn every_kind_variant_and_format_integrates_to_the_interpreted_totals() {
+    for variant in ALL_VARIANTS {
+        for format in ALL_FORMATS {
+            let programs = [
+                ("conv", conv_program(variant, format, 12, 16, 0.3, 7)),
+                ("dense", dense_program(variant, format, 9)),
+                ("fc", fc_program(variant, format, 0.1, 11)),
+                ("pool", pool_program(variant, format, 0.35, 13)),
+            ];
+            for (kind, program) in programs {
+                let (stats, cost) = both_consumers(&program);
+                assert_equivalent(&format!("{kind}/{variant}/{format:?}"), &stats, &cost);
+            }
+        }
+    }
+}
+
+#[test]
+fn double_buffered_conv_overlaps_dma_with_compute() {
+    // A wide conv whose weights need several scratchpad tiles: the first
+    // tile is a prologue load, the remaining tiles stream in behind
+    // compute. Total cycles must come in under the serial sum of compute
+    // and DMA busy time — the acceptance criterion for double buffering.
+    let program = conv_program(KernelVariant::SpikeStream, FpFormat::Fp16, 96, 64, 0.3, 5);
+    let mut cl = cluster();
+    execute_program(&mut cl, &program);
+    let stats = cl.finish_phase("conv");
+    assert!(stats.dma_busy_cycles > 0, "the layer moves tiles");
+    assert!(
+        stats.cycles < stats.compute_cycles + stats.dma_busy_cycles,
+        "double buffering must hide transfer time: cycles {} vs compute {} + dma {}",
+        stats.cycles,
+        stats.compute_cycles,
+        stats.dma_busy_cycles
+    );
+    // The epilogue membrane write-back is issued only after the compute
+    // stream drains, so the last DMA completion lands past compute and the
+    // phase duration covers it.
+    assert!(
+        stats.dma_cycles > stats.compute_cycles,
+        "epilogue write-back must land after compute: dma {} vs compute {}",
+        stats.dma_cycles,
+        stats.compute_cycles
+    );
+    assert_eq!(stats.cycles, stats.dma_cycles);
+
+    // The integrator sees the same overlap and the same epilogue tail.
+    let cost = CostIntegrator::snitch().integrate(&program);
+    assert!(cost.cycles < cost.compute_cycles + cost.dma_busy_cycles);
+    assert!(cost.dma_cycles > cost.compute_cycles);
+}
+
+#[test]
+fn empty_streams_integrate_exactly_like_they_interpret() {
+    // An emitter that lowers a silent position into an unguarded Stream op
+    // must still satisfy the exact-totals contract: both consumers charge
+    // the SSR configuration and skip the FREP.
+    use snitch_arch::isa::FpOp;
+    use snitch_arch::SsrId;
+    use spikestream_ir::{ComputePhase, IndexStream, KernelOp, Phase, StreamSpec, WorkItem};
+    let mut program = StreamProgram::new("empty-stream", FpFormat::Fp16);
+    program.push(Phase::Compute(ComputePhase {
+        code: vec![],
+        items: vec![WorkItem::new(vec![
+            KernelOp::alu(),
+            KernelOp::Stream {
+                ssrs: vec![(
+                    SsrId::Ssr0,
+                    StreamSpec::Indirect {
+                        index_base: 0,
+                        index_bytes: 2,
+                        data_base: 0x100,
+                        elem_bytes: 8,
+                        indices: IndexStream::exact(Vec::new()),
+                    },
+                )],
+                op: FpOp::Add,
+            },
+        ])],
+    }));
+    let (stats, cost) = both_consumers(&program);
+    assert_equivalent("empty-stream", &stats, &cost);
+    assert_eq!(stats.compute_cycles, cost.compute_cycles);
+}
+
+proptest! {
+    #[test]
+    fn integration_matches_interpretation_for_random_conv_layers(
+        in_c in 4usize..24,
+        out_c in 4usize..16,
+        rate in 0.02f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        for variant in ALL_VARIANTS {
+            let format = ALL_FORMATS[(seed % 3) as usize];
+            let program = conv_program(variant, format, in_c, out_c, rate, seed);
+            let (stats, cost) = both_consumers(&program);
+            prop_assert_eq!(stats.totals.int_instrs as f64, cost.int_instrs);
+            prop_assert_eq!(stats.totals.fp_instrs as f64, cost.fp_instrs);
+            prop_assert_eq!(stats.totals.flops as f64, cost.flops);
+            prop_assert_eq!(stats.dma_bytes_in, cost.dma_bytes_in);
+            prop_assert_eq!(stats.dma_bytes_out, cost.dma_bytes_out);
+            let rel = (stats.compute_cycles as f64 - cost.compute_cycles as f64).abs()
+                / stats.compute_cycles as f64;
+            prop_assert!(rel <= CYCLE_TOLERANCE, "cycles diverge by {:.2}%", 100.0 * rel);
+        }
+    }
+
+    #[test]
+    fn integration_matches_interpretation_for_random_fc_and_pool_layers(
+        rate in 0.01f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        for variant in ALL_VARIANTS {
+            let format = ALL_FORMATS[(seed % 3) as usize];
+            for program in [
+                fc_program(variant, format, rate, seed),
+                pool_program(variant, format, rate, seed),
+            ] {
+                let (stats, cost) = both_consumers(&program);
+                prop_assert_eq!(stats.totals.int_instrs as f64, cost.int_instrs);
+                prop_assert_eq!(stats.totals.flops as f64, cost.flops);
+                prop_assert_eq!(stats.totals.stream_elements as f64, cost.stream_elements);
+                let rel = (stats.compute_cycles as f64 - cost.compute_cycles as f64).abs()
+                    / stats.compute_cycles as f64;
+                prop_assert!(rel <= CYCLE_TOLERANCE, "cycles diverge by {:.2}%", 100.0 * rel);
+            }
+        }
+    }
+}

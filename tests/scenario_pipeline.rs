@@ -40,6 +40,30 @@ fn the_smoke_scenario_is_cycle_level_and_fast() {
 }
 
 #[test]
+fn the_pool_scenario_runs_the_avgpool_layer_on_both_backends() {
+    let scenario = Scenario::from_file(&scenario_dir().join("tiny_pool.toml")).unwrap();
+    assert_eq!(scenario.network, NetworkChoice::TinyPool);
+    assert_eq!(scenario.config.timing, TimingModel::CycleLevel);
+
+    let cycle = scenario.run();
+    assert_eq!(cycle.layers.len(), 3);
+    let pool = cycle.layer("pool2").expect("the pooling layer reports");
+    assert!(pool.cycles > 0.0 && pool.synops > 0.0);
+    // Pooling is far cheaper than the conv stage feeding it.
+    assert!(pool.cycles < cycle.layer("conv1").unwrap().cycles);
+
+    // The same scenario through the analytic (IR-integration) backend:
+    // both backends lower the pool layer through the same emitter, so the
+    // expected input spike count matches the realized one.
+    let mut analytic = scenario.clone();
+    analytic.config.timing = TimingModel::Analytic;
+    let report = analytic.run();
+    let a = report.layer("pool2").unwrap();
+    assert_eq!(a.input_spikes.round(), pool.input_spikes);
+    assert!(a.cycles > 0.0);
+}
+
+#[test]
 fn the_headline_scenario_matches_the_paper_configuration() {
     let scenario = Scenario::from_file(&scenario_dir().join("svgg11_fp16.toml")).unwrap();
     assert_eq!(scenario.network, NetworkChoice::Svgg11);
