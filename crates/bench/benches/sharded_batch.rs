@@ -2,7 +2,9 @@
 //! than the plain parallel fan-out it refines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spikestream::{AnalyticBackend, Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel};
+use spikestream::{
+    AnalyticBackend, Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel, WorkloadMode,
+};
 use spikestream_bench::BENCH_BATCH;
 use std::time::Duration;
 
@@ -13,6 +15,7 @@ fn config() -> InferenceConfig {
         timing: TimingModel::Analytic,
         batch: BENCH_BATCH * 4,
         seed: 0xC1FA,
+        mode: WorkloadMode::Synthetic,
     }
 }
 

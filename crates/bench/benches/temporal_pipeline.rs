@@ -1,0 +1,55 @@
+//! Bench for the temporal inference pipeline: per-timestep spike
+//! propagation with persistent membranes (cycle-level) and the per-step
+//! symbolic integration of the analytic backend must both stay cheap
+//! enough to sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spikestream::{
+    Engine, FpFormat, InferenceConfig, KernelVariant, NetworkChoice, TemporalEncoding, TimingModel,
+};
+use std::time::Duration;
+
+fn config(timing: TimingModel, batch: usize, timesteps: usize) -> InferenceConfig {
+    InferenceConfig {
+        timing,
+        batch,
+        seed: 0xC1FA,
+        ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+    }
+    .temporal(timesteps, TemporalEncoding::Rate)
+}
+
+fn bench(c: &mut Criterion) {
+    // Cycle-level: the tiny CNN, four real timesteps per sample.
+    let (network, profile) = NetworkChoice::TinyCnn.build(7);
+    let tiny = Engine::new(network, profile);
+    let cycle_cfg = config(TimingModel::CycleLevel, 1, 4);
+    c.bench_function("temporal_tiny_cycle_t4", |b| {
+        b.iter(|| {
+            let report = tiny.run(std::hint::black_box(&cycle_cfg));
+            assert_eq!(report.timesteps.as_ref().map(Vec::len), Some(4));
+            report
+        })
+    });
+
+    // Analytic: the full S-VGG11, per-step symbolic integration.
+    let svgg = Engine::svgg11(1);
+    let analytic_cfg = config(TimingModel::Analytic, 4, 4);
+    c.bench_function("temporal_svgg11_analytic_t4", |b| {
+        b.iter(|| {
+            let report = svgg.run(std::hint::black_box(&analytic_cfg));
+            assert_eq!(report.layers.len(), 8);
+            report
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -22,7 +22,11 @@ use super::{ExecutionBackend, LayerSample, SampleContext};
 /// Layer runtimes come from integrating the cost model over the same
 /// stream programs the cycle-level backend interprets; spike counts and
 /// footprints are the expected values implied by each sample's jittered
-/// firing rate.
+/// firing rate. In temporal mode the backend integrates one program per
+/// `(timestep, layer)` from the temporal sparsity model's expected
+/// per-step rates — the per-step programs carry the same membrane
+/// load/store DMA phases and sparsity-scaled stream lengths the
+/// cycle-level backend interprets from real spikes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AnalyticBackend;
 
@@ -32,7 +36,7 @@ impl ExecutionBackend for AnalyticBackend {
     }
 
     fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample> {
-        let mut out = Vec::with_capacity(ctx.network.len());
+        let mut out = Vec::with_capacity(ctx.network.len() * ctx.timesteps());
         self.run_sample_into(ctx, sample, &mut out);
         out
     }
@@ -40,20 +44,23 @@ impl ExecutionBackend for AnalyticBackend {
     fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
         let integrator = CostIntegrator::new(ctx.cluster.clone(), ctx.cost.clone());
         let n = ctx.network.len();
-        out.reserve(n);
-        for (idx, layer) in ctx.network.layers().iter().enumerate() {
-            let input_rate = ctx.sample_rate(idx, sample);
-            let output_rate = ctx.sample_rate((idx + 1).min(n - 1), sample);
-            let program = lower_layer(
-                ctx,
-                layer,
-                ctx.config.variant,
-                ctx.config.format,
-                input_rate,
-                output_rate,
-            );
-            let cost = integrator.integrate(&program);
-            out.push(layer_sample(ctx, layer, input_rate, &cost));
+        let timesteps = ctx.timesteps();
+        out.reserve(n * timesteps);
+        for step in 0..timesteps {
+            for (idx, layer) in ctx.network.layers().iter().enumerate() {
+                let input_rate = ctx.sample_rate_at(idx, sample, step);
+                let output_rate = ctx.sample_rate_at((idx + 1).min(n - 1), sample, step);
+                let program = lower_layer(
+                    ctx,
+                    layer,
+                    ctx.config.variant,
+                    ctx.config.format,
+                    input_rate,
+                    output_rate,
+                );
+                let cost = integrator.integrate(&program);
+                out.push(layer_sample(ctx, layer, input_rate, &cost));
+            }
         }
     }
 }
@@ -127,6 +134,7 @@ fn layer_sample(
         input_spikes: expected_input_spikes(kind, encodes, input_rate),
         synops: expected_synops(kind, encodes, input_rate),
         energy_j,
+        dma_bytes: (cost.dma_bytes_in + cost.dma_bytes_out) as f64,
         csr_footprint_bytes: csr,
         aer_footprint_bytes: aer,
     }

@@ -1,12 +1,14 @@
 //! Pluggable execution backends.
 //!
 //! An [`ExecutionBackend`] evaluates **one batch sample** of a network and
-//! returns one [`LayerSample`] per layer. The [`Engine`](crate::Engine)
+//! returns one [`LayerSample`] per layer per timestep (synthetic runs
+//! evaluate a single step; temporal runs evaluate `T` real ones with
+//! membrane state carried between steps). The [`Engine`](crate::Engine)
 //! owns everything around that: it builds the shared [`SampleContext`],
 //! fans the batch out over worker threads (each sample is seeded
-//! independently, so the parallel result is bit-identical to a sequential
-//! run), and averages the samples into an
-//! [`InferenceReport`](crate::InferenceReport).
+//! independently and a sample's timesteps stay on one worker, so the
+//! parallel result is bit-identical to a sequential run), and averages the
+//! samples into an [`InferenceReport`](crate::InferenceReport).
 //!
 //! Two backends ship with the crate, mirroring the two timing models of
 //! the paper's evaluation. Both consume the *same* stream programs
@@ -35,7 +37,7 @@ use rand::{Rng, SeedableRng};
 
 use snitch_arch::{ClusterConfig, CostModel};
 use spikestream_energy::EnergyModel;
-use spikestream_snn::{FiringProfile, Network};
+use spikestream_snn::{FiringProfile, Network, TemporalSparsityModel, WorkloadMode};
 
 use crate::engine::{InferenceConfig, TimingModel};
 
@@ -76,6 +78,28 @@ impl SampleContext<'_> {
         let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (base * (1.0 + self.profile.relative_std * gauss)).clamp(0.0, 1.0)
     }
+
+    /// Expected firing rate of layer `idx` at timestep `step` of a batch
+    /// sample: the jittered profile rate modulated by the
+    /// [`TemporalSparsityModel`] warm-up ramp (membranes charge from rest,
+    /// so early steps under-fire). Identical to
+    /// [`SampleContext::sample_rate`] in synthetic mode and for the dense
+    /// encoding layer, whose input does not depend on membrane history.
+    pub fn sample_rate_at(&self, idx: usize, sample: usize, step: usize) -> f64 {
+        let base = self.sample_rate(idx, sample);
+        match self.config.mode {
+            WorkloadMode::Synthetic => base,
+            WorkloadMode::Temporal { .. } if idx == 0 => base,
+            WorkloadMode::Temporal { .. } => {
+                (base * TemporalSparsityModel::calibrated().step_factor(step)).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Timesteps each sample of this run evaluates.
+    pub fn timesteps(&self) -> usize {
+        self.config.timesteps()
+    }
 }
 
 /// Per-sample, per-layer measurement before averaging.
@@ -95,6 +119,8 @@ pub struct LayerSample {
     pub synops: f64,
     /// Energy in joules.
     pub energy_j: f64,
+    /// DMA payload bytes moved (in + out) by the layer invocation.
+    pub dma_bytes: f64,
     /// Compressed (CSR-derived) input footprint in bytes.
     pub csr_footprint_bytes: f64,
     /// AER input footprint in bytes.
@@ -142,11 +168,10 @@ pub struct LayerSample {
 ///
 /// let engine = Engine::svgg11(1);
 /// let config = InferenceConfig {
-///     variant: KernelVariant::SpikeStream,
-///     format: FpFormat::Fp16,
 ///     timing: TimingModel::Analytic, // ignored: the backend is explicit
 ///     batch: 2,
 ///     seed: 7,
+///     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
 /// };
 /// let report = engine.run_with_backend(&SynopCounting, &config);
 /// assert!(report.total_cycles() > 0.0);
@@ -156,12 +181,15 @@ pub trait ExecutionBackend: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Evaluate batch sample `sample`, returning one [`LayerSample`] per
-    /// network layer, in layer order.
+    /// network layer per timestep: step-major order (`step 0` layers first,
+    /// then `step 1`, …). Synthetic runs evaluate exactly one step, so the
+    /// historical "one sample per layer" contract is the `T = 1` case.
     fn run_sample(&self, ctx: &SampleContext<'_>, sample: usize) -> Vec<LayerSample>;
 
     /// Evaluate batch sample `sample`, appending one [`LayerSample`] per
-    /// network layer to `out` (in layer order) instead of allocating a
-    /// fresh vector.
+    /// network layer per timestep to `out` (step-major, as in
+    /// [`ExecutionBackend::run_sample`]) instead of allocating a fresh
+    /// vector.
     ///
     /// The sharded batch scheduler drives this entry point with a reused
     /// per-worker scratch vector so its hot loop performs no per-sample
@@ -215,5 +243,38 @@ mod tests {
         // Spiking layers: deterministic per sample, different across samples.
         assert_eq!(ctx.sample_rate(2, 3), ctx.sample_rate(2, 3));
         assert_ne!(ctx.sample_rate(2, 3), ctx.sample_rate(2, 4));
+        // Synthetic mode ignores the step index entirely.
+        assert_eq!(ctx.sample_rate_at(2, 3, 0), ctx.sample_rate(2, 3));
+        assert_eq!(ctx.sample_rate_at(2, 3, 7), ctx.sample_rate(2, 3));
+    }
+
+    #[test]
+    fn temporal_rates_ramp_up_with_the_step() {
+        use spikestream_snn::TemporalEncoding;
+        let network = Network::svgg11(1);
+        let profile = FiringProfile::paper_svgg11();
+        let cluster = ClusterConfig::default();
+        let cost = CostModel::default();
+        let energy = EnergyModel::calibrated();
+        let config = crate::InferenceConfig::paper(
+            spikestream_kernels::KernelVariant::SpikeStream,
+            snitch_arch::fp::FpFormat::Fp16,
+        )
+        .temporal(4, TemporalEncoding::Direct);
+        let ctx = SampleContext {
+            network: &network,
+            profile: &profile,
+            cluster: &cluster,
+            cost: &cost,
+            energy: &energy,
+            config: &config,
+        };
+        assert_eq!(ctx.timesteps(), 4);
+        // Spiking layers warm up toward the steady-state profile rate...
+        let steady = ctx.sample_rate(2, 0);
+        assert!(ctx.sample_rate_at(2, 0, 0) < ctx.sample_rate_at(2, 0, 3));
+        assert!(ctx.sample_rate_at(2, 0, 3) <= steady);
+        // ... while the encoding layer's dense input is step-invariant.
+        assert_eq!(ctx.sample_rate_at(0, 0, 0), ctx.sample_rate_at(0, 0, 3));
     }
 }

@@ -14,10 +14,10 @@ use snitch_arch::fp::FpFormat;
 use snitch_arch::{ClusterConfig, CostModel};
 use spikestream_energy::EnergyModel;
 use spikestream_kernels::KernelVariant;
-use spikestream_snn::{FiringProfile, Network};
+use spikestream_snn::{FiringProfile, Network, TemporalEncoding, WorkloadMode};
 
 use crate::backend::{self, ExecutionBackend, LayerSample, SampleContext};
-use crate::report::{InferenceReport, LayerReport};
+use crate::report::{InferenceReport, LayerReport, TimestepReport};
 use crate::sharding::BatchScheduler;
 
 /// Which timing model the engine uses.
@@ -43,13 +43,36 @@ pub struct InferenceConfig {
     pub batch: usize,
     /// Seed controlling the synthetic workload.
     pub seed: u64,
+    /// How each sample is evaluated: the paper's profile-driven single-shot
+    /// path ([`WorkloadMode::Synthetic`]) or the T-timestep temporal
+    /// pipeline with real spike propagation and persistent membranes.
+    pub mode: WorkloadMode,
 }
 
 impl InferenceConfig {
     /// The paper's default evaluation configuration for a given variant and
-    /// format: analytic timing over a batch of 128 frames.
+    /// format: analytic timing over a batch of 128 frames, synthetic
+    /// single-shot workloads.
     pub fn paper(variant: KernelVariant, format: FpFormat) -> Self {
-        InferenceConfig { variant, format, timing: TimingModel::Analytic, batch: 128, seed: 0xC1FA }
+        InferenceConfig {
+            variant,
+            format,
+            timing: TimingModel::Analytic,
+            batch: 128,
+            seed: 0xC1FA,
+            mode: WorkloadMode::Synthetic,
+        }
+    }
+
+    /// The same configuration switched to a `timesteps`-step temporal run.
+    pub fn temporal(mut self, timesteps: usize, encoding: TemporalEncoding) -> Self {
+        self.mode = WorkloadMode::Temporal { timesteps: timesteps.max(1), encoding };
+        self
+    }
+
+    /// Timesteps one sample evaluates (1 for synthetic runs).
+    pub fn timesteps(&self) -> usize {
+        self.mode.timesteps()
     }
 }
 
@@ -67,7 +90,21 @@ pub struct Engine {
 impl Engine {
     /// Create an engine from a network and firing profile with default
     /// cluster, cost and energy models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover every layer of the network —
+    /// [`FiringProfile::rate`] no longer papers over a short profile with a
+    /// silent default, so the mismatch is rejected up front instead of
+    /// skewing a whole evaluation.
     pub fn new(network: Network, profile: FiringProfile) -> Self {
+        assert!(
+            profile.len() >= network.len(),
+            "firing profile covers {} layers but network `{}` has {}",
+            profile.len(),
+            network.name,
+            network.len()
+        );
         Engine {
             network,
             profile,
@@ -129,11 +166,21 @@ impl Engine {
         self.run_with_backend(backend::for_timing(config.timing), config)
     }
 
+    /// Work units one batch sample contributes to the flat result buffer:
+    /// one [`LayerSample`] per layer per timestep. Synthetic runs evaluate
+    /// a single (synthetic) timestep; temporal runs evaluate `T` real ones.
+    fn units_per_sample(&self, config: &InferenceConfig) -> usize {
+        self.network.len() * config.timesteps()
+    }
+
     /// Run the network through an explicit [`ExecutionBackend`], fanning
     /// batch samples out over worker threads.
     ///
     /// Samples are independently seeded, so the report is bit-identical to
-    /// [`Engine::run_sequential`] with the same backend and config.
+    /// [`Engine::run_sequential`] with the same backend and config. In
+    /// temporal mode a sample's timesteps stay together on one worker (the
+    /// membrane state lives in that worker's scratch), so parallelism is
+    /// across samples only — exactly like the sequential reference.
     pub fn run_with_backend(
         &self,
         backend: &dyn ExecutionBackend,
@@ -162,7 +209,8 @@ impl Engine {
     ) -> InferenceReport {
         let ctx = self.sample_context(config);
         let batch = config.batch.max(1);
-        let sharded = BatchScheduler::new(shards).run(backend, &ctx, batch, self.network.len());
+        let sharded =
+            BatchScheduler::new(shards).run(backend, &ctx, batch, self.units_per_sample(config));
         let mut report = self.summarize_batch(sharded.samples(), config, batch);
         report.shards = Some(sharded.summary());
         report
@@ -177,29 +225,50 @@ impl Engine {
     ) -> InferenceReport {
         let ctx = self.sample_context(config);
         let batch = config.batch.max(1);
-        let mut flat: Vec<LayerSample> = Vec::with_capacity(batch * self.network.len());
+        let mut flat: Vec<LayerSample> = Vec::with_capacity(batch * self.units_per_sample(config));
         for sample in 0..batch {
             backend.run_sample_into(&ctx, sample, &mut flat);
         }
         self.summarize_batch(&flat, config, batch)
     }
 
-    /// Average per-sample layer measurements into the final report. `flat`
-    /// holds sample-major measurements (sample `s`, layer `l` at
-    /// `s * layer_count + l`), the layout shared by the sequential loop,
-    /// the parallel fan-out and the sharded scheduler.
+    /// Average per-sample measurements into the final report. `flat` holds
+    /// sample-major measurements; within one sample the layout is
+    /// step-major (timestep `t`, layer `l` at `t * layer_count + l` — one
+    /// step for synthetic runs). This is the layout shared by the
+    /// sequential loop, the parallel fan-out and the sharded scheduler.
+    ///
+    /// Synthetic runs take the historical path untouched, so their reports
+    /// stay bit-identical. Temporal runs first fold each sample's `T x L`
+    /// block into per-layer totals (cycles/energy/spikes/synops summed over
+    /// steps, rates and footprints averaged, utilization/IPC cycle-weighted)
+    /// and additionally derive the per-timestep breakdown.
     fn summarize_batch(
         &self,
         flat: &[LayerSample],
         config: &InferenceConfig,
         batch: usize,
     ) -> InferenceReport {
-        let stride = self.network.len();
+        let layer_count = self.network.len();
+        let timesteps = config.timesteps();
+        let stride = self.units_per_sample(config);
         assert_eq!(
             flat.len(),
             batch * stride,
-            "backend must return exactly one LayerSample per network layer per sample"
+            "backend must return exactly one LayerSample per layer per timestep per sample"
         );
+
+        let (per_layer, timestep_reports): (std::borrow::Cow<'_, [LayerSample]>, _) =
+            if config.mode.is_temporal() {
+                let folded = fold_temporal_samples(flat, batch, timesteps, layer_count);
+                let steps = summarize_timesteps(flat, batch, timesteps, layer_count);
+                (folded.into(), Some(steps))
+            } else {
+                // The synthetic path stays zero-copy: one step per sample
+                // means the flat buffer already is the per-layer view.
+                (flat.into(), None)
+            };
+
         let layers = self
             .network
             .layers()
@@ -207,7 +276,7 @@ impl Engine {
             .enumerate()
             .map(|(idx, layer)| {
                 let samples: Vec<LayerSample> =
-                    flat[idx..].iter().step_by(stride).copied().collect();
+                    per_layer[idx..].iter().step_by(layer_count).copied().collect();
                 self.summarize(layer.name.clone(), &samples)
             })
             .collect();
@@ -218,6 +287,7 @@ impl Engine {
             format: config.format,
             batch,
             layers,
+            timesteps: timestep_reports,
             shards: None,
         }
     }
@@ -247,6 +317,88 @@ impl Engine {
     }
 }
 
+/// Fold each sample's `T x L` temporal block into one [`LayerSample`] per
+/// layer: extensive quantities (cycles, energy, spikes, synops, DMA) sum
+/// over the steps, rates and footprints average, and utilization/IPC are
+/// cycle-weighted means — so a layer's folded sample describes the whole
+/// T-step inference of that sample.
+fn fold_temporal_samples(
+    flat: &[LayerSample],
+    batch: usize,
+    timesteps: usize,
+    layer_count: usize,
+) -> Vec<LayerSample> {
+    let stride = timesteps * layer_count;
+    let mut folded = Vec::with_capacity(batch * layer_count);
+    for sample in 0..batch {
+        for layer in 0..layer_count {
+            let mut acc = LayerSample::default();
+            for step in 0..timesteps {
+                let s = &flat[sample * stride + step * layer_count + layer];
+                acc.cycles += s.cycles;
+                acc.energy_j += s.energy_j;
+                acc.input_spikes += s.input_spikes;
+                acc.synops += s.synops;
+                acc.dma_bytes += s.dma_bytes;
+                acc.fpu_utilization += s.fpu_utilization * s.cycles;
+                acc.ipc += s.ipc * s.cycles;
+                acc.input_firing_rate += s.input_firing_rate;
+                acc.csr_footprint_bytes += s.csr_footprint_bytes;
+                acc.aer_footprint_bytes += s.aer_footprint_bytes;
+            }
+            let t = timesteps as f64;
+            if acc.cycles > 0.0 {
+                acc.fpu_utilization /= acc.cycles;
+                acc.ipc /= acc.cycles;
+            }
+            acc.input_firing_rate /= t;
+            acc.csr_footprint_bytes /= t;
+            acc.aer_footprint_bytes /= t;
+            folded.push(acc);
+        }
+    }
+    folded
+}
+
+/// Batch-averaged per-timestep breakdown of a temporal run: for every step,
+/// the total cycles and DMA bytes of that step plus the per-layer input
+/// firing rates — the emergent sparsity trajectory Fig. 3a only shows in
+/// steady state.
+fn summarize_timesteps(
+    flat: &[LayerSample],
+    batch: usize,
+    timesteps: usize,
+    layer_count: usize,
+) -> Vec<TimestepReport> {
+    let stride = timesteps * layer_count;
+    let n = batch.max(1) as f64;
+    (0..timesteps)
+        .map(|step| {
+            let mut cycles = 0.0;
+            let mut dma_bytes = 0.0;
+            let mut energy_j = 0.0;
+            let mut firing_rates = vec![0.0f64; layer_count];
+            for sample in 0..batch {
+                for layer in 0..layer_count {
+                    let s = &flat[sample * stride + step * layer_count + layer];
+                    cycles += s.cycles;
+                    dma_bytes += s.dma_bytes;
+                    energy_j += s.energy_j;
+                    firing_rates[layer] += s.input_firing_rate;
+                }
+            }
+            firing_rates.iter_mut().for_each(|r| *r /= n);
+            TimestepReport {
+                step,
+                cycles: cycles / n,
+                dma_bytes: dma_bytes / n,
+                energy_j: energy_j / n,
+                firing_rates,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +412,7 @@ mod tests {
             timing: TimingModel::Analytic,
             batch: 8,
             seed: 3,
+            mode: WorkloadMode::Synthetic,
         })
     }
 
@@ -307,6 +460,7 @@ mod tests {
             timing: TimingModel::Analytic,
             batch: 32,
             seed: 0xBEEF,
+            mode: WorkloadMode::Synthetic,
         };
         let parallel = engine.run(&config);
         let sequential = engine.run_sequential(&AnalyticBackend, &config);
@@ -323,8 +477,69 @@ mod tests {
             timing: TimingModel::Analytic,
             batch: 4,
             seed: 5,
+            mode: WorkloadMode::Synthetic,
         };
         assert_eq!(engine.run(&config), engine.run_with_backend(&AnalyticBackend, &config));
+    }
+
+    #[test]
+    #[should_panic(expected = "firing profile covers 3 layers")]
+    fn short_firing_profile_is_rejected_at_engine_construction() {
+        let _ = Engine::new(Network::svgg11(1), FiringProfile::uniform(3, 0.2));
+    }
+
+    #[test]
+    fn temporal_analytic_run_reports_per_step_breakdowns() {
+        let engine = Engine::svgg11(4);
+        let config = InferenceConfig {
+            batch: 6,
+            seed: 0xABC,
+            ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+        }
+        .temporal(4, TemporalEncoding::Direct);
+        let report = engine.run(&config);
+        assert_eq!(report.layers.len(), 8, "layer reports still cover the network");
+        let steps = report.timesteps.as_ref().expect("temporal runs carry per-step stats");
+        assert_eq!(steps.len(), 4);
+        for (t, step) in steps.iter().enumerate() {
+            assert_eq!(step.step, t);
+            assert!(step.cycles > 0.0);
+            assert!(step.dma_bytes > 0.0, "per-step membrane load/store DMA");
+            assert_eq!(step.firing_rates.len(), 8);
+        }
+        // The warm-up ramp: spiking layers fire less at step 0 than at the
+        // final step, while the dense encoding layer is step-invariant.
+        assert!(steps[0].firing_rates[2] < steps[3].firing_rates[2]);
+        assert_eq!(steps[0].firing_rates[0], steps[3].firing_rates[0]);
+        // Per-step firing rates appear in the JSON rendering.
+        assert!(report.to_json().contains("\"timesteps\":[{\"step\":0"));
+        // The parallel fan-out stays bit-identical to the sequential loop.
+        let sequential = engine.run_sequential(&AnalyticBackend, &config);
+        assert_eq!(report.to_json(), sequential.to_json());
+    }
+
+    #[test]
+    fn temporal_totals_scale_with_the_timestep_count() {
+        let engine = Engine::svgg11(4);
+        let base = InferenceConfig {
+            batch: 2,
+            seed: 1,
+            ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+        };
+        let t2 = engine.run(&base.temporal(2, TemporalEncoding::Direct));
+        let t6 = engine.run(&base.temporal(6, TemporalEncoding::Direct));
+        // More steps, more total work — and the per-layer cycles cover the
+        // whole T-step inference.
+        assert!(t6.total_cycles() > 2.0 * t2.total_cycles());
+        assert_eq!(t2.timesteps.as_ref().unwrap().len(), 2);
+        assert_eq!(t6.timesteps.as_ref().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn synthetic_reports_carry_no_timestep_breakdown() {
+        let r = analytic(KernelVariant::SpikeStream, FpFormat::Fp16);
+        assert!(r.timesteps.is_none());
+        assert!(!r.to_json().contains("timesteps"));
     }
 
     #[test]
@@ -374,6 +589,7 @@ mod tests {
             timing: TimingModel::CycleLevel,
             batch: 1,
             seed: 11,
+            mode: WorkloadMode::Synthetic,
         };
         let base = engine.run(&cfg(KernelVariant::Baseline));
         let fast = engine.run(&cfg(KernelVariant::SpikeStream));
@@ -423,6 +639,7 @@ mod tests {
                     timing,
                     batch: 1,
                     seed: 2,
+                    mode: WorkloadMode::Synthetic,
                 })
                 .total_cycles()
         };

@@ -14,7 +14,7 @@ use snitch_arch::fp::FpFormat;
 use snitch_arch::CostModel;
 use spikestream_kernels::KernelVariant;
 
-use crate::engine::{Engine, InferenceConfig, TimingModel};
+use crate::engine::{Engine, InferenceConfig};
 use crate::report::InferenceReport;
 
 /// Default batch size of the paper's evaluation.
@@ -135,7 +135,7 @@ pub struct AblationRow {
 }
 
 fn config(variant: KernelVariant, format: FpFormat, batch: usize) -> InferenceConfig {
-    InferenceConfig { variant, format, timing: TimingModel::Analytic, batch, seed: 0xC1FA }
+    InferenceConfig { batch, ..InferenceConfig::paper(variant, format) }
 }
 
 fn reports(batch: usize) -> (InferenceReport, InferenceReport, InferenceReport) {

@@ -35,25 +35,44 @@
 //! # Quickstart
 //!
 //! ```
-//! use spikestream::{Engine, InferenceConfig, KernelVariant, TimingModel};
+//! use spikestream::{Engine, InferenceConfig, KernelVariant};
 //! use spikestream::FpFormat;
 //!
 //! let engine = Engine::svgg11(42);
 //! let baseline = engine.run(&InferenceConfig {
-//!     variant: KernelVariant::Baseline,
-//!     format: FpFormat::Fp16,
-//!     timing: TimingModel::Analytic,
 //!     batch: 4,
 //!     seed: 7,
+//!     ..InferenceConfig::paper(KernelVariant::Baseline, FpFormat::Fp16)
 //! });
 //! let streamed = engine.run(&InferenceConfig {
-//!     variant: KernelVariant::SpikeStream,
-//!     format: FpFormat::Fp16,
-//!     timing: TimingModel::Analytic,
 //!     batch: 4,
 //!     seed: 7,
+//!     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
 //! });
 //! assert!(streamed.total_cycles() < baseline.total_cycles());
+//! ```
+//!
+//! A *temporal* run propagates real spikes across `T` timesteps with
+//! persistent LIF membranes instead of sampling synthetic workloads — see
+//! [`WorkloadMode`] and the per-step breakdown in
+//! [`InferenceReport::timesteps`]:
+//!
+//! ```
+//! use spikestream::{
+//!     Engine, FpFormat, InferenceConfig, KernelVariant, NetworkChoice, TemporalEncoding,
+//!     TimingModel,
+//! };
+//!
+//! let (network, profile) = NetworkChoice::TinyCnn.build(7);
+//! let engine = Engine::new(network, profile);
+//! let config = InferenceConfig {
+//!     timing: TimingModel::CycleLevel,
+//!     batch: 1,
+//!     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+//! }
+//! .temporal(3, TemporalEncoding::Rate);
+//! let report = engine.run(&config);
+//! assert_eq!(report.timesteps.as_ref().unwrap().len(), 3);
 //! ```
 
 pub mod backend;
@@ -67,7 +86,7 @@ pub use backend::{
     AnalyticBackend, CycleLevelBackend, ExecutionBackend, LayerSample, SampleContext,
 };
 pub use engine::{Engine, InferenceConfig, TimingModel};
-pub use report::{InferenceReport, LayerReport, ShardSummary, ShardUtilization};
+pub use report::{InferenceReport, LayerReport, ShardSummary, ShardUtilization, TimestepReport};
 pub use scenario::{NetworkChoice, Scenario, ScenarioError};
 pub use sharding::{BatchScheduler, ShardedBatch};
 
@@ -77,4 +96,6 @@ pub use snitch_arch::fp::FpFormat;
 pub use snitch_arch::{ClusterConfig, CostModel};
 pub use spikestream_energy::{Activity, EnergyModel};
 pub use spikestream_kernels::KernelVariant;
-pub use spikestream_snn::{FiringProfile, Network};
+pub use spikestream_snn::{
+    FiringProfile, Network, TemporalEncoding, TemporalSparsityModel, WorkloadMode,
+};

@@ -36,6 +36,26 @@ pub struct LayerReport {
     pub aer_footprint_bytes: f64,
 }
 
+/// Batch-averaged statistics of one timestep of a temporal run: the
+/// emergent per-step activity the synthetic single-shot path cannot show.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimestepReport {
+    /// Timestep index (0-based).
+    pub step: usize,
+    /// Cycles this step cost, totalled across all layers and averaged over
+    /// the batch.
+    pub cycles: f64,
+    /// DMA payload bytes (in + out) this step moved — including the
+    /// per-step membrane load/store traffic — totalled across all layers
+    /// and averaged over the batch.
+    pub dma_bytes: f64,
+    /// Energy in joules this step consumed, totalled across all layers and
+    /// averaged over the batch.
+    pub energy_j: f64,
+    /// Mean input firing rate of each layer at this step, in layer order.
+    pub firing_rates: Vec<f64>,
+}
+
 /// Occupancy statistics of one cluster shard in a sharded batch run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardUtilization {
@@ -80,8 +100,15 @@ pub struct InferenceReport {
     pub format: FpFormat,
     /// Number of batch samples averaged.
     pub batch: usize,
-    /// Per-layer statistics in execution order.
+    /// Per-layer statistics in execution order. In temporal runs each
+    /// layer's extensive quantities (cycles, energy, spikes, synops) cover
+    /// the whole T-step inference of a sample.
     pub layers: Vec<LayerReport>,
+    /// Per-timestep breakdown of a temporal run (firing-rate trajectory,
+    /// per-step cycles, DMA and energy); `None` for synthetic single-shot
+    /// runs, whose reports therefore stay bit-identical to the historical
+    /// format.
+    pub timesteps: Option<Vec<TimestepReport>>,
     /// Per-shard fleet statistics; `None` for unsharded (sequential or
     /// plain parallel) runs. The aggregate layer statistics above are
     /// independent of the sharding, so stripping this field from a sharded
@@ -161,6 +188,16 @@ impl InferenceReport {
             layer.write_json(&mut out);
         }
         out.push(']');
+        if let Some(steps) = &self.timesteps {
+            out.push_str(",\"timesteps\":[");
+            for (i, step) in steps.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                step.write_json(&mut out);
+            }
+            out.push(']');
+        }
         if let Some(shards) = &self.shards {
             out.push_str(",\"shards\":");
             shards.write_json(&mut out);
@@ -176,6 +213,26 @@ impl InferenceReport {
     pub fn without_shard_stats(mut self) -> Self {
         self.shards = None;
         self
+    }
+}
+
+impl TimestepReport {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!("{{\"step\":{}", self.step));
+        out.push_str(",\"cycles\":");
+        json_f64(out, self.cycles);
+        out.push_str(",\"dma_bytes\":");
+        json_f64(out, self.dma_bytes);
+        out.push_str(",\"energy_j\":");
+        json_f64(out, self.energy_j);
+        out.push_str(",\"firing_rates\":[");
+        for (i, rate) in self.firing_rates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_f64(out, *rate);
+        }
+        out.push_str("]}");
     }
 }
 
@@ -290,6 +347,7 @@ mod tests {
             format: FpFormat::Fp16,
             batch: 1,
             layers: vec![layer("a", cycles, 0.1, energy), layer("b", cycles, 0.5, energy)],
+            timesteps: None,
             shards: None,
         }
     }
@@ -361,6 +419,35 @@ mod tests {
         assert_eq!(sharded.clone().without_shard_stats(), plain);
         assert_eq!(sharded.without_shard_stats().to_json(), plain.to_json());
         assert!(!plain.to_json().contains("shards"));
+    }
+
+    #[test]
+    fn timestep_breakdown_renders_only_for_temporal_reports() {
+        let plain = report(1000.0, 1e-6);
+        assert!(!plain.to_json().contains("timesteps"));
+
+        let mut temporal = plain.clone();
+        temporal.timesteps = Some(vec![
+            TimestepReport {
+                step: 0,
+                cycles: 400.0,
+                dma_bytes: 128.0,
+                energy_j: 4e-7,
+                firing_rates: vec![1.0, 0.1],
+            },
+            TimestepReport {
+                step: 1,
+                cycles: 600.0,
+                dma_bytes: 160.0,
+                energy_j: 6e-7,
+                firing_rates: vec![1.0, 0.2],
+            },
+        ]);
+        let json = temporal.to_json();
+        assert!(json.contains("\"timesteps\":[{\"step\":0,\"cycles\":400.0"));
+        assert!(json.contains("\"firing_rates\":[1.0,0.2]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -11,14 +11,18 @@
 //! ```text
 //! # examples/scenarios/svgg11_fp16.toml
 //! [scenario]
-//! name    = "svgg11-fp16"
-//! network = "svgg11"        # svgg11 | tiny-cnn
-//! variant = "spikestream"   # baseline | spikestream
-//! format  = "fp16"          # fp64 | fp32 | fp16 | fp8
-//! timing  = "analytic"      # analytic | cycle-level
-//! batch   = 128
-//! seed    = 0xC1FA
-//! shards  = 8
+//! name      = "svgg11-fp16"
+//! network   = "svgg11"        # svgg11 | tiny-cnn | tiny-pool
+//! variant   = "spikestream"   # baseline | spikestream
+//! format    = "fp16"          # fp64 | fp32 | fp16 | fp8
+//! timing    = "analytic"      # analytic | cycle-level
+//! batch     = 128
+//! seed      = 0xC1FA
+//! shards    = 8
+//! # Optional temporal-pipeline keys: setting either switches the run from
+//! # the synthetic single-shot path to a real T-timestep inference.
+//! timesteps = 4
+//! encoding  = "rate"          # rate | direct
 //! ```
 //!
 //! The parser is hand-rolled (no external TOML dependency) and rejects
@@ -46,7 +50,10 @@ use snitch_arch::fp::FpFormat;
 use spikestream_kernels::KernelVariant;
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
-use spikestream_snn::{ConvSpec, FiringProfile, LinearSpec, Network, NetworkBuilder, PoolSpec};
+use spikestream_snn::{
+    ConvSpec, FiringProfile, LinearSpec, Network, NetworkBuilder, PoolSpec, TemporalEncoding,
+    WorkloadMode,
+};
 
 use crate::backend::for_timing;
 use crate::engine::{Engine, InferenceConfig, TimingModel};
@@ -207,6 +214,8 @@ impl Scenario {
         let mut scenario = Scenario::defaults();
         let mut in_scenario = false;
         let mut saw_section = false;
+        let mut timesteps: Option<usize> = None;
+        let mut encoding: Option<TemporalEncoding> = None;
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -297,6 +306,25 @@ impl Scenario {
                     scenario.config.batch = batch;
                 }
                 "seed" => scenario.config.seed = parse_u64(lineno, value)?,
+                "timesteps" => {
+                    let steps = parse_u64(lineno, value)? as usize;
+                    if steps == 0 {
+                        return Err(err(lineno, "timesteps must be at least 1"));
+                    }
+                    timesteps = Some(steps);
+                }
+                "encoding" => {
+                    encoding = Some(match parse_string(lineno, value)?.as_str() {
+                        "rate" => TemporalEncoding::Rate,
+                        "direct" => TemporalEncoding::Direct,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown encoding `{other}` (rate | direct)"),
+                            ))
+                        }
+                    });
+                }
                 "shards" => {
                     let shards = parse_u64(lineno, value)? as usize;
                     if shards == 0 {
@@ -310,6 +338,14 @@ impl Scenario {
 
         if !saw_section {
             return Err(err(0, "missing `[scenario]` section"));
+        }
+        // Either temporal key switches the run to the temporal pipeline;
+        // unspecified halves fall back to T = 1 / direct coding.
+        if timesteps.is_some() || encoding.is_some() {
+            scenario.config.mode = WorkloadMode::Temporal {
+                timesteps: timesteps.unwrap_or(1),
+                encoding: encoding.unwrap_or(TemporalEncoding::Direct),
+            };
         }
         Ok(scenario)
     }
@@ -439,6 +475,60 @@ shards  = 4
             assert_eq!(e.line, line, "{text:?}: {e}");
             assert!(e.message.contains(needle), "{text:?}: {e}");
         }
+    }
+
+    #[test]
+    fn temporal_keys_switch_the_workload_mode() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"t\"\nnetwork = \"tiny-cnn\"\ntimesteps = 4\nencoding = \"rate\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            s.config.mode,
+            WorkloadMode::Temporal { timesteps: 4, encoding: TemporalEncoding::Rate }
+        );
+        // Either key alone is enough; the other falls back to its default.
+        let only_steps = Scenario::parse("[scenario]\ntimesteps = 2\n").unwrap();
+        assert_eq!(
+            only_steps.config.mode,
+            WorkloadMode::Temporal { timesteps: 2, encoding: TemporalEncoding::Direct }
+        );
+        let only_encoding = Scenario::parse("[scenario]\nencoding = \"direct\"\n").unwrap();
+        assert_eq!(
+            only_encoding.config.mode,
+            WorkloadMode::Temporal { timesteps: 1, encoding: TemporalEncoding::Direct }
+        );
+        // No temporal keys: the synthetic single-shot path.
+        let plain = Scenario::parse("[scenario]\nname = \"p\"\n").unwrap();
+        assert_eq!(plain.config.mode, WorkloadMode::Synthetic);
+    }
+
+    #[test]
+    fn temporal_key_errors_carry_line_numbers() {
+        let cases = [
+            ("[scenario]\ntimesteps = 0\n", 2, "at least 1"),
+            ("[scenario]\ntimesteps = \"x\"\n", 2, "unsigned integer"),
+            ("[scenario]\nencoding = \"poisson2\"\n", 2, "unknown encoding"),
+            ("[scenario]\nencoding = rate\n", 2, "quoted string"),
+        ];
+        for (text, line, needle) in cases {
+            let e = Scenario::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}: {e}");
+            assert!(e.message.contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn temporal_scenario_runs_with_fleet_statistics() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"tt\"\nnetwork = \"tiny-cnn\"\ntiming = \"cycle-level\"\n\
+             batch = 3\nshards = 2\ntimesteps = 2\nencoding = \"rate\"\n",
+        )
+        .unwrap();
+        let report = s.run();
+        assert_eq!(report.timesteps.as_ref().unwrap().len(), 2);
+        assert_eq!(report.shards.as_ref().unwrap().shards.len(), 2);
+        assert_eq!(report.without_shard_stats(), s.run_sequential());
     }
 
     #[test]

@@ -48,18 +48,13 @@ pub const DISPATCH_CYCLES: f64 = 2.0;
 /// # Example
 ///
 /// ```
-/// use spikestream::{
-///     AnalyticBackend, BatchScheduler, Engine, FpFormat, InferenceConfig, KernelVariant,
-///     TimingModel,
-/// };
+/// use spikestream::{AnalyticBackend, BatchScheduler, Engine, FpFormat, InferenceConfig, KernelVariant};
 ///
 /// let engine = Engine::svgg11(1);
 /// let config = InferenceConfig {
-///     variant: KernelVariant::SpikeStream,
-///     format: FpFormat::Fp16,
-///     timing: TimingModel::Analytic,
 ///     batch: 16,
 ///     seed: 9,
+///     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
 /// };
 /// let ctx = engine.sample_context(&config);
 /// let batch = BatchScheduler::new(4).run(&AnalyticBackend, &ctx, 16, engine.network().len());
@@ -108,8 +103,12 @@ impl BatchScheduler {
     /// Evaluate samples `0..batch` of `ctx` through `backend` and
     /// attribute them to the shard fleet.
     ///
-    /// `layers` must be the layer count of `ctx.network` (one
-    /// [`LayerSample`] slot per layer per sample).
+    /// `layers` must be the number of [`LayerSample`] slots one sample
+    /// produces: the network's layer count times the configured timesteps
+    /// (`ctx.network.len() * ctx.timesteps()`). The whole `(sample x
+    /// timestep)` block of a sample is evaluated by one worker in one
+    /// `run_sample_into` call — membrane state stays pinned to that
+    /// worker's scratch — and attributed to one shard as a unit.
     pub fn run(
         &self,
         backend: &dyn ExecutionBackend,
@@ -145,7 +144,11 @@ impl BatchScheduler {
                             for (i, slot) in window.chunks_mut(layers).enumerate() {
                                 scratch.clear();
                                 backend.run_sample_into(ctx, first + i, &mut scratch);
-                                debug_assert_eq!(scratch.len(), layers, "one sample per layer");
+                                debug_assert_eq!(
+                                    scratch.len(),
+                                    layers,
+                                    "one sample per layer per timestep"
+                                );
                                 slot.copy_from_slice(&scratch);
                             }
                         }
@@ -233,7 +236,7 @@ impl ShardedBatch {
 mod tests {
     use super::*;
     use crate::backend::AnalyticBackend;
-    use crate::{Engine, InferenceConfig, TimingModel};
+    use crate::{Engine, InferenceConfig, TimingModel, WorkloadMode};
     use snitch_arch::fp::FpFormat;
     use spikestream_kernels::KernelVariant;
 
@@ -244,6 +247,7 @@ mod tests {
             timing: TimingModel::Analytic,
             batch,
             seed: 0xFEED,
+            mode: WorkloadMode::Synthetic,
         }
     }
 

@@ -13,8 +13,10 @@
 
 use snitch_arch::fp::FpFormat;
 use snitch_sim::ClusterModel;
+use spikestream_snn::tensor::TensorShape;
 use spikestream_snn::{
-    AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, LifState, SpikeMap, Tensor3,
+    AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, LifState, Network, SpikeMap,
+    Tensor3,
 };
 
 use crate::{ConvKernel, DenseEncodingKernel, FcKernel, KernelVariant, PoolKernel};
@@ -47,22 +49,64 @@ pub struct LayerExecution {
     pub output_spikes: u64,
 }
 
-/// Reusable buffers for repeated [`LayerExecutor::run_with_scratch`]
-/// invocations: the LIF membrane state, the compressed-input buffers and
-/// their backing allocations. A worker that evaluates many layers (or many
-/// batch samples) keeps one `LayerScratch` and avoids re-allocating these
-/// per layer once the buffers reach steady-state capacity.
+/// Reusable buffers for repeated [`LayerExecutor::run_with_scratch`] and
+/// [`LayerExecutor::run_temporal_step`] invocations: the LIF membrane
+/// state, the compressed-input buffers and their backing allocations. A
+/// worker that evaluates many layers (or many batch samples) keeps one
+/// `LayerScratch` and avoids re-allocating these per layer once the
+/// buffers reach steady-state capacity.
+///
+/// For temporal runs the scratch additionally owns one *persistent*
+/// [`LifState`] per network layer: [`LayerScratch::begin_sample`] resets
+/// them to rest, and every [`LayerExecutor::run_temporal_step`] of the
+/// sample advances them in place — the membranes survive from timestep to
+/// timestep, which is what makes the pipeline a real spiking inference.
+/// The states are pinned to whichever worker owns the scratch, so a
+/// sample's timesteps always execute on one worker, in order.
 #[derive(Debug, Clone, Default)]
 pub struct LayerScratch {
     lif: LifState,
     ifmap: CompressedIfmap,
     fc: CompressedFcInput,
+    /// Per-layer persistent membrane states of the current temporal sample
+    /// (empty until [`LayerScratch::begin_sample`] is called).
+    states: Vec<LifState>,
 }
 
 impl LayerScratch {
     /// Fresh, empty scratch buffers.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Start a new temporal sample: size one persistent membrane state per
+    /// layer of `network` and reset every membrane to rest, reusing the
+    /// existing allocations. Must be called before the first
+    /// [`LayerExecutor::run_temporal_step`] of each sample — this is what
+    /// guarantees membrane state never leaks between batch samples.
+    pub fn begin_sample(&mut self, network: &Network) {
+        self.states.resize_with(network.len(), LifState::default);
+        for (layer, state) in network.layers().iter().zip(self.states.iter_mut()) {
+            let neurons = match &layer.kind {
+                // Conv membranes cover the pre-pool output neurons.
+                LayerKind::Conv(c) => c.conv_output().len(),
+                // Pooling is membrane-free.
+                LayerKind::AvgPool(_) => 0,
+                LayerKind::Linear(l) => l.out_features,
+            };
+            state.reset_to(neurons);
+        }
+    }
+
+    /// The persistent membrane state of layer `idx` (read-only view, used
+    /// by tests and diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`LayerScratch::begin_sample`] has not sized the states or
+    /// `idx` is out of range.
+    pub fn membrane(&self, idx: usize) -> &LifState {
+        &self.states[idx]
     }
 }
 
@@ -158,64 +202,141 @@ impl LayerExecutor {
         input: LayerInput<'_>,
         scratch: &mut LayerScratch,
     ) -> LayerExecution {
+        // Single-shot semantics: the membrane state rests before the layer
+        // runs (the dispatch resets it when `fresh` is set).
+        let LayerScratch { lif, ifmap, fc, .. } = scratch;
+        self.dispatch(cluster, layer, input, lif, ifmap, fc, true).0
+    }
+
+    /// Run one layer of one *timestep* of a temporal sample, advancing the
+    /// layer's persistent membrane state in `scratch` instead of resetting
+    /// it. Returns the structural measurements plus the layer's output
+    /// spike map (after pooling; `1 x 1 x F` for fully connected layers),
+    /// which *is* the next layer's input at this timestep.
+    ///
+    /// The lowered per-timestep program is the layer's regular stream
+    /// program: its prologue DMA loads the membrane tile alongside the
+    /// compressed per-step input (whose stream lengths reflect the step's
+    /// realized sparsity) and its epilogue DMA writes the membranes back —
+    /// the load/store phases every timestep of a stateful inference pays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`LayerScratch::begin_sample`] was not called for the
+    /// current network (membrane state missing or mis-sized), or on the
+    /// input-shape mismatches of [`LayerExecutor::run`].
+    pub fn run_temporal_step(
+        &self,
+        cluster: &mut ClusterModel,
+        layer: &Layer,
+        layer_idx: usize,
+        input: LayerInput<'_>,
+        scratch: &mut LayerScratch,
+    ) -> (LayerExecution, SpikeMap) {
+        assert!(
+            layer_idx < scratch.states.len(),
+            "LayerScratch::begin_sample must size the membrane states before temporal steps"
+        );
+        let LayerScratch { states, ifmap, fc, .. } = scratch;
+        self.dispatch(cluster, layer, input, &mut states[layer_idx], ifmap, fc, false)
+    }
+
+    /// The shared kernel dispatch behind [`LayerExecutor::run_with_scratch`]
+    /// and [`LayerExecutor::run_temporal_step`]: compress the input, run
+    /// the matching kernel against `state`, and derive the structural
+    /// measurements. `fresh` selects single-shot semantics — the membrane
+    /// state is reset to rest before the layer runs, and the dense encoding
+    /// layer reports its historical every-pixel input metrics (a temporal
+    /// step instead counts the step's realized nonzero inputs, which is
+    /// what rate coding sparsifies).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        cluster: &mut ClusterModel,
+        layer: &Layer,
+        input: LayerInput<'_>,
+        state: &mut LifState,
+        ifmap: &mut CompressedIfmap,
+        fc: &mut CompressedFcInput,
+        fresh: bool,
+    ) -> (LayerExecution, SpikeMap) {
         match (&layer.kind, input) {
             (LayerKind::Conv(spec), LayerInput::Image(image)) => {
-                scratch.lif.reset_to(spec.conv_output().len());
-                let kernel = DenseEncodingKernel::new(self.variant, self.format);
-                let out = kernel.run(cluster, layer, image, &mut scratch.lif);
-                let padded = spec.padded_input();
-                LayerExecution {
-                    input_rate: 1.0,
-                    input_spikes: padded.len() as u64,
-                    synops: spec.dense_synops() as f64,
-                    csr_footprint_bytes: (padded.len() * 4) as f64,
-                    aer_footprint_bytes: (padded.len() * 4) as f64,
-                    output_spikes: out.output.count_spikes() as u64,
+                if fresh {
+                    state.reset_to(spec.conv_output().len());
                 }
+                let kernel = DenseEncodingKernel::new(self.variant, self.format);
+                let out = kernel.run(cluster, layer, image, state);
+                let padded = spec.padded_input();
+                let input_spikes = if fresh { padded.len() } else { image.count_nonzero() };
+                (
+                    LayerExecution {
+                        input_rate: input_spikes as f64 / padded.len().max(1) as f64,
+                        input_spikes: input_spikes as u64,
+                        synops: spec.dense_synops() as f64,
+                        csr_footprint_bytes: (padded.len() * 4) as f64,
+                        aer_footprint_bytes: (padded.len() * 4) as f64,
+                        output_spikes: out.output.count_spikes() as u64,
+                    },
+                    out.output,
+                )
             }
             (LayerKind::Conv(spec), LayerInput::Spikes(spikes)) => {
-                scratch.ifmap.refill_from(spikes);
-                scratch.lif.reset_to(spec.conv_output().len());
-                let kernel = ConvKernel::new(self.variant, self.format);
-                let out = kernel.run(cluster, layer, &scratch.ifmap, &mut scratch.lif);
-                let rate = scratch.ifmap.firing_rate();
-                LayerExecution {
-                    input_rate: rate,
-                    input_spikes: scratch.ifmap.spike_count() as u64,
-                    synops: spec.dense_synops() as f64 * rate,
-                    csr_footprint_bytes: scratch.ifmap.footprint_bytes() as f64,
-                    aer_footprint_bytes: (scratch.ifmap.spike_count() * AerEvent::BYTES) as f64,
-                    output_spikes: out.output.count_spikes() as u64,
+                ifmap.refill_from(spikes);
+                if fresh {
+                    state.reset_to(spec.conv_output().len());
                 }
+                let kernel = ConvKernel::new(self.variant, self.format);
+                let out = kernel.run(cluster, layer, ifmap, state);
+                let rate = ifmap.firing_rate();
+                (
+                    LayerExecution {
+                        input_rate: rate,
+                        input_spikes: ifmap.spike_count() as u64,
+                        synops: spec.dense_synops() as f64 * rate,
+                        csr_footprint_bytes: ifmap.footprint_bytes() as f64,
+                        aer_footprint_bytes: (ifmap.spike_count() * AerEvent::BYTES) as f64,
+                        output_spikes: out.output.count_spikes() as u64,
+                    },
+                    out.output,
+                )
             }
             (LayerKind::AvgPool(spec), LayerInput::Spikes(spikes)) => {
-                scratch.ifmap.refill_from(spikes);
+                ifmap.refill_from(spikes);
                 let kernel = PoolKernel::new(self.variant, self.format);
                 let out = kernel.run(cluster, layer, spikes);
-                let rate = scratch.ifmap.firing_rate();
-                LayerExecution {
-                    input_rate: rate,
-                    input_spikes: scratch.ifmap.spike_count() as u64,
-                    synops: spec.dense_synops() as f64 * rate,
-                    csr_footprint_bytes: scratch.ifmap.footprint_bytes() as f64,
-                    aer_footprint_bytes: (scratch.ifmap.spike_count() * AerEvent::BYTES) as f64,
-                    output_spikes: out.output.count_spikes() as u64,
-                }
+                let rate = ifmap.firing_rate();
+                (
+                    LayerExecution {
+                        input_rate: rate,
+                        input_spikes: ifmap.spike_count() as u64,
+                        synops: spec.dense_synops() as f64 * rate,
+                        csr_footprint_bytes: ifmap.footprint_bytes() as f64,
+                        aer_footprint_bytes: (ifmap.spike_count() * AerEvent::BYTES) as f64,
+                        output_spikes: out.output.count_spikes() as u64,
+                    },
+                    out.output,
+                )
             }
             (LayerKind::Linear(spec), LayerInput::Spikes(spikes)) => {
-                scratch.fc.refill_from(spikes.data());
-                scratch.lif.reset_to(spec.out_features);
-                let kernel = FcKernel::new(self.variant, self.format);
-                let out = kernel.run(cluster, layer, &scratch.fc, &mut scratch.lif);
-                LayerExecution {
-                    input_rate: scratch.fc.spike_count() as f64 / spec.in_features as f64,
-                    input_spikes: scratch.fc.spike_count() as u64,
-                    synops: spec.dense_synops() as f64 * scratch.fc.spike_count() as f64
-                        / spec.in_features as f64,
-                    csr_footprint_bytes: scratch.fc.footprint_bytes() as f64,
-                    aer_footprint_bytes: (scratch.fc.spike_count() * AerEvent::BYTES) as f64,
-                    output_spikes: out.spikes.iter().filter(|&&s| s).count() as u64,
+                fc.refill_from(spikes.data());
+                if fresh {
+                    state.reset_to(spec.out_features);
                 }
+                let kernel = FcKernel::new(self.variant, self.format);
+                let out = kernel.run(cluster, layer, fc, state);
+                let fired = out.spikes.iter().filter(|&&s| s).count() as u64;
+                let exec = LayerExecution {
+                    input_rate: fc.spike_count() as f64 / spec.in_features as f64,
+                    input_spikes: fc.spike_count() as u64,
+                    synops: spec.dense_synops() as f64 * fc.spike_count() as f64
+                        / spec.in_features as f64,
+                    csr_footprint_bytes: fc.footprint_bytes() as f64,
+                    aer_footprint_bytes: (fc.spike_count() * AerEvent::BYTES) as f64,
+                    output_spikes: fired,
+                };
+                let map = SpikeMap::from_vec(TensorShape::new(1, 1, spec.out_features), out.spikes);
+                (exec, map)
             }
             (LayerKind::Linear(_) | LayerKind::AvgPool(_), LayerInput::Image(_)) => {
                 panic!("fully connected and pooling layers consume spikes, not dense images")
@@ -349,6 +470,63 @@ mod tests {
                 "identical timing regardless of buffer reuse"
             );
         }
+    }
+
+    #[test]
+    fn temporal_steps_persist_membrane_state_between_invocations() {
+        use spikestream_snn::NetworkBuilder;
+        let (layer, spec) = conv_layer(false);
+        let net = NetworkBuilder::new("one").conv("conv", spec, layer.lif).build();
+        let mut net = net;
+        net.layers_mut()[0].weights = layer.weights.clone();
+
+        let executor = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp32);
+        let mut scratch = LayerScratch::new();
+        scratch.begin_sample(&net);
+        let spikes = random_spikes(spec.padded_input(), 0.3, 5);
+
+        // Two temporal steps on the same input: the second step starts from
+        // the first step's (decayed, reset-by-subtraction) membranes, so the
+        // membrane trajectory must match a manual two-step LifState run.
+        let mut reference = LifState::new(spec.conv_output().len());
+        let compressed = CompressedIfmap::from_spike_map(&spikes);
+        for step in 0..2 {
+            let mut cl = cluster();
+            let (exec, out) = executor.run_temporal_step(
+                &mut cl,
+                &net.layers()[0],
+                0,
+                LayerInput::Spikes(&spikes),
+                &mut scratch,
+            );
+            let direct = ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp32).run(
+                &mut cluster(),
+                &net.layers()[0],
+                &compressed,
+                &mut reference,
+            );
+            assert_eq!(out, direct.output, "step {step} spikes");
+            assert_eq!(exec.output_spikes, direct.output.count_spikes() as u64);
+            assert_eq!(scratch.membrane(0).membrane(), reference.membrane(), "step {step}");
+        }
+
+        // A new sample resets the membranes to rest.
+        scratch.begin_sample(&net);
+        assert!(scratch.membrane(0).membrane().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_sample")]
+    fn temporal_step_without_begin_sample_is_rejected() {
+        let (layer, spec) = conv_layer(false);
+        let spikes = random_spikes(spec.padded_input(), 0.2, 3);
+        LayerExecutor::new(KernelVariant::Baseline, FpFormat::Fp16).run_temporal_step(
+            &mut cluster(),
+            &layer,
+            0,
+            LayerInput::Spikes(&spikes),
+            &mut LayerScratch::new(),
+        );
     }
 
     #[test]

@@ -27,7 +27,14 @@
 //! Execution backends drive the kernels through the uniform
 //! [`executor::LayerExecutor`] entry point rather than invoking
 //! [`ConvKernel`], [`FcKernel`], [`PoolKernel`] and
-//! [`DenseEncodingKernel`] directly.
+//! [`DenseEncodingKernel`] directly. Single-shot synthetic evaluation uses
+//! [`LayerExecutor::run_with_scratch`] (membranes reset per invocation);
+//! the T-timestep temporal pipeline uses
+//! [`LayerExecutor::run_temporal_step`], which advances the per-layer
+//! persistent membrane states owned by [`executor::LayerScratch`] and
+//! returns each layer's output spike map so the caller can feed it to the
+//! next layer — per-step stream lengths and DMA traffic then reflect the
+//! *emergent* sparsity of the step instead of an injected profile.
 
 mod emit;
 

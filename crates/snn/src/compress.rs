@@ -298,9 +298,35 @@ impl AerFrame {
         AerFrame { shape, events }
     }
 
+    /// Encode one frame per timestep of a temporal run: frame `t` carries
+    /// the spikes of `maps[t]` stamped with `timestamp = t`. This is the
+    /// path that gives [`AerEvent::timestamp`] real semantics — a temporal
+    /// inference is a monotone stream of frames, one per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX + 1` timesteps are encoded; per-frame
+    /// coordinate limits are debug-asserted as in
+    /// [`AerFrame::from_spike_map`].
+    pub fn sequence<'a>(maps: impl IntoIterator<Item = &'a SpikeMap>) -> Vec<AerFrame> {
+        maps.into_iter()
+            .enumerate()
+            .map(|(t, map)| {
+                assert!(t <= u16::MAX as usize, "timestep {t} exceeds the 16-bit AER timestamp");
+                AerFrame::from_spike_map(map, t as u16)
+            })
+            .collect()
+    }
+
     /// The events of the frame.
     pub fn events(&self) -> &[AerEvent] {
         &self.events
+    }
+
+    /// The common timestamp of the frame's events (`None` for an empty
+    /// frame).
+    pub fn timestamp(&self) -> Option<u16> {
+        self.events.first().map(|e| e.timestamp)
     }
 
     /// Reconstruct the dense spike map.
@@ -432,6 +458,20 @@ mod tests {
         assert_eq!(frame.events().len(), 1);
         assert_eq!(frame.events()[0].y, u16::MAX);
         assert_eq!(frame.decompress(), map);
+    }
+
+    #[test]
+    fn aer_sequence_stamps_one_frame_per_timestep() {
+        let maps = vec![sample_map(), SpikeMap::silent(TensorShape::new(3, 3, 8)), sample_map()];
+        let frames = AerFrame::sequence(&maps);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].timestamp(), Some(0));
+        assert_eq!(frames[1].timestamp(), None, "silent steps produce empty frames");
+        assert_eq!(frames[2].timestamp(), Some(2));
+        for (t, (frame, map)) in frames.iter().zip(&maps).enumerate() {
+            assert_eq!(&frame.decompress(), map);
+            assert!(frame.events().iter().all(|e| e.timestamp == t as u16));
+        }
     }
 
     #[test]

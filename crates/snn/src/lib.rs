@@ -10,9 +10,12 @@
 //!   ([`layer`], [`model`]),
 //! * the CSR-derived compressed ifmap format and the AER format it is
 //!   compared against ([`compress`]),
-//! * spike encodings for image inputs ([`encoding`]),
+//! * spike encodings for image inputs, including the per-timestep
+//!   rate/direct temporal encoder ([`encoding`]),
 //! * a synthetic workload generator that reproduces the per-layer firing
-//!   statistics of the paper's CIFAR-10 evaluation ([`workload`]), and
+//!   statistics of the paper's CIFAR-10 evaluation, plus the
+//!   [`WorkloadMode`] switch between that single-shot path and the real
+//!   T-timestep temporal pipeline ([`workload`]), and
 //! * a functional reference inference engine used as ground truth for the
 //!   kernel implementations ([`reference`](mod@reference)).
 
@@ -26,9 +29,12 @@ pub mod tensor;
 pub mod workload;
 
 pub use compress::{AerEvent, AerFrame, CompressedFcInput, CompressedIfmap};
+pub use encoding::{TemporalEncoder, TemporalEncoding};
 pub use layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
 pub use model::{Network, NetworkBuilder};
 pub use neuron::{LifParams, LifState};
 pub use reference::ReferenceEngine;
 pub use tensor::{SpikeMap, Tensor3, TensorShape};
-pub use workload::{FiringProfile, SpikeWorkload, WorkloadGenerator};
+pub use workload::{
+    FiringProfile, SpikeWorkload, TemporalSparsityModel, WorkloadGenerator, WorkloadMode,
+};

@@ -16,10 +16,87 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::encoding::synthetic_image;
+use crate::encoding::{synthetic_image, TemporalEncoding};
 use crate::layer::LayerKind;
 use crate::model::Network;
 use crate::tensor::{SpikeMap, Tensor3, TensorShape};
+
+/// How one batch sample is turned into layer inputs.
+///
+/// * [`WorkloadMode::Synthetic`] is the paper's single-shot evaluation:
+///   every layer's input spike map is sampled independently from the
+///   calibrated [`FiringProfile`] (the firing statistics are *injected*).
+/// * [`WorkloadMode::Temporal`] runs a real T-timestep inference: the
+///   input image is encoded per step, LIF membranes persist between steps,
+///   and the spikes layer N emits at step t *are* layer N+1's input at
+///   step t (the firing statistics are *emergent*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadMode {
+    /// One synthetic evaluation per sample from the firing profile.
+    Synthetic,
+    /// A T-timestep temporal pipeline with persistent membrane state.
+    Temporal {
+        /// Number of inference timesteps (>= 1).
+        timesteps: usize,
+        /// How the dense input image becomes a per-step layer-0 input.
+        encoding: TemporalEncoding,
+    },
+}
+
+impl WorkloadMode {
+    /// Number of timesteps one sample evaluates (1 for synthetic runs).
+    pub fn timesteps(&self) -> usize {
+        match self {
+            WorkloadMode::Synthetic => 1,
+            WorkloadMode::Temporal { timesteps, .. } => (*timesteps).max(1),
+        }
+    }
+
+    /// Whether the mode runs the temporal pipeline.
+    pub fn is_temporal(&self) -> bool {
+        matches!(self, WorkloadMode::Temporal { .. })
+    }
+}
+
+impl Default for WorkloadMode {
+    /// The profile-driven single-shot evaluation of the paper.
+    fn default() -> Self {
+        WorkloadMode::Synthetic
+    }
+}
+
+/// Expected per-timestep firing-rate modulation of a temporal run.
+///
+/// Starting from resting membranes, the network's activity ramps up over
+/// the first timesteps as the LIF potentials charge toward threshold; the
+/// steady state matches the calibrated profile rate. The analytic backend
+/// integrates per-step programs from these expected rates, mirroring the
+/// emergent per-step sparsity the cycle-level backend measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalSparsityModel {
+    /// Residual charge fraction per step (the LIF decay constant); the
+    /// step-`t` activity factor is `1 - warmup^(t+1)`.
+    pub warmup: f64,
+}
+
+impl TemporalSparsityModel {
+    /// Model matching the default LIF decay (`alpha = 0.5`).
+    pub fn calibrated() -> Self {
+        TemporalSparsityModel { warmup: 0.5 }
+    }
+
+    /// Activity factor of timestep `step` in `[0, 1]`: `1 - warmup^(t+1)`,
+    /// so step 0 under-fires and the factor converges to 1.
+    pub fn step_factor(&self, step: usize) -> f64 {
+        (1.0 - self.warmup.clamp(0.0, 1.0).powi(step as i32 + 1)).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for TemporalSparsityModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
 
 /// Per-layer input firing rates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,8 +126,33 @@ impl FiringProfile {
     }
 
     /// Firing rate of layer `layer`, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` has no profile entry. A short profile used to fall
+    /// back to a silent `0.1` default, which let a profile/network mismatch
+    /// skew every downstream figure; the length is now validated up front
+    /// (`Engine::new` checks it against the network) and an out-of-range
+    /// query is a bug.
     pub fn rate(&self, layer: usize) -> f64 {
-        self.rates.get(layer).copied().unwrap_or(0.1).clamp(0.0, 1.0)
+        match self.rates.get(layer) {
+            Some(rate) => rate.clamp(0.0, 1.0),
+            None => panic!(
+                "firing profile has {} entries but layer {layer} was queried; \
+                 the profile must cover every network layer",
+                self.rates.len()
+            ),
+        }
+    }
+
+    /// Number of layers the profile covers.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the profile covers no layers.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
     }
 }
 
@@ -100,9 +202,14 @@ impl WorkloadGenerator {
         &self.profile
     }
 
+    /// The per-sample RNG, deterministic in `(seed, sample)` alone.
+    fn sample_rng(&self, sample: usize) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (sample as u64).wrapping_mul(0x9e37_79b9))
+    }
+
     /// Generate the workload of one batch sample for `network`.
     pub fn generate(&self, network: &Network, sample: usize) -> SpikeWorkload {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (sample as u64).wrapping_mul(0x9e37_79b9));
+        let mut rng = self.sample_rng(sample);
         let mut layer_inputs = Vec::new();
         let mut image = Tensor3::zeros(TensorShape::new(1, 1, 1));
 
@@ -113,21 +220,7 @@ impl WorkloadGenerator {
                 LayerKind::Linear(l) => TensorShape::new(1, 1, l.in_features),
             };
             if idx == 0 {
-                // Dense image, padded; the interior comes from the synthetic
-                // image generator, the border stays zero.
-                let unpadded = match &layer.kind {
-                    LayerKind::Conv(c) => c.input,
-                    LayerKind::AvgPool(p) => p.input,
-                    LayerKind::Linear(l) => TensorShape::new(1, 1, l.in_features),
-                };
-                let inner = synthetic_image(unpadded, &mut rng);
-                image = crate::encoding::pad_image(
-                    &inner,
-                    match &layer.kind {
-                        LayerKind::Conv(c) => c.padding,
-                        LayerKind::AvgPool(_) | LayerKind::Linear(_) => 0,
-                    },
-                );
+                image = image_for(layer, &mut rng);
                 continue;
             }
             let base_rate = self.profile.rate(idx);
@@ -138,10 +231,35 @@ impl WorkloadGenerator {
         SpikeWorkload { image, layer_inputs, sample }
     }
 
+    /// Generate only the padded input image of one batch sample — the
+    /// temporal pipeline's entry point, which derives every subsequent
+    /// layer input from real spike propagation instead of the profile.
+    ///
+    /// Bit-identical to the `image` field of [`WorkloadGenerator::generate`]
+    /// for the same `(network, sample)`: the image is drawn first from the
+    /// per-sample RNG in both paths.
+    pub fn generate_image(&self, network: &Network, sample: usize) -> Tensor3 {
+        let mut rng = self.sample_rng(sample);
+        let layer = network.layers().first().expect("network has at least one layer");
+        image_for(layer, &mut rng)
+    }
+
     /// Generate a whole batch of workloads.
     pub fn generate_batch(&self, network: &Network, batch: usize) -> Vec<SpikeWorkload> {
         (0..batch).map(|s| self.generate(network, s)).collect()
     }
+}
+
+/// The dense, padded input image of the first layer: the interior comes
+/// from the synthetic image generator, the border stays zero.
+fn image_for<R: Rng>(layer: &crate::layer::Layer, rng: &mut R) -> Tensor3 {
+    let (unpadded, padding) = match &layer.kind {
+        LayerKind::Conv(c) => (c.input, c.padding),
+        LayerKind::AvgPool(p) => (p.input, 0),
+        LayerKind::Linear(l) => (TensorShape::new(1, 1, l.in_features), 0),
+    };
+    let inner = synthetic_image(unpadded, rng);
+    crate::encoding::pad_image(&inner, padding)
 }
 
 /// Draw a standard-normal sample via the Box-Muller transform (avoids a
@@ -272,6 +390,47 @@ mod tests {
     fn uniform_profile() {
         let p = FiringProfile::uniform(4, 0.3);
         assert_eq!(p.rate(2), 0.3);
-        assert_eq!(p.rate(99), 0.1, "out-of-range layers fall back to a default");
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "firing profile has 4 entries but layer 99 was queried")]
+    fn out_of_range_layer_rate_panics() {
+        let p = FiringProfile::uniform(4, 0.3);
+        let _ = p.rate(99);
+    }
+
+    #[test]
+    fn generate_image_matches_the_full_workload_image() {
+        let net = Network::svgg11(1);
+        let gen = WorkloadGenerator::new(FiringProfile::paper_svgg11(), 17);
+        for sample in [0, 3, 9] {
+            assert_eq!(gen.generate_image(&net, sample), gen.generate(&net, sample).image);
+        }
+    }
+
+    #[test]
+    fn workload_mode_timesteps() {
+        assert_eq!(WorkloadMode::Synthetic.timesteps(), 1);
+        assert!(!WorkloadMode::Synthetic.is_temporal());
+        let t = WorkloadMode::Temporal { timesteps: 4, encoding: TemporalEncoding::Rate };
+        assert_eq!(t.timesteps(), 4);
+        assert!(t.is_temporal());
+        // A degenerate zero-step request still evaluates one step.
+        let z = WorkloadMode::Temporal { timesteps: 0, encoding: TemporalEncoding::Direct };
+        assert_eq!(z.timesteps(), 1);
+    }
+
+    #[test]
+    fn temporal_sparsity_ramps_toward_the_profile_rate() {
+        let m = TemporalSparsityModel::calibrated();
+        assert!((m.step_factor(0) - 0.5).abs() < 1e-12);
+        assert!(m.step_factor(1) > m.step_factor(0));
+        assert!(m.step_factor(20) > 0.999);
+        for t in 0..8 {
+            let f = m.step_factor(t);
+            assert!((0.0..=1.0).contains(&f));
+        }
     }
 }

@@ -13,7 +13,8 @@
 //! ```
 
 use spikestream::{
-    CycleLevelBackend, Engine, FiringProfile, FpFormat, InferenceConfig, KernelVariant, TimingModel,
+    CycleLevelBackend, Engine, FiringProfile, FpFormat, InferenceConfig, KernelVariant,
+    TimingModel, WorkloadMode,
 };
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
@@ -70,6 +71,7 @@ fn main() {
                 timing: TimingModel::CycleLevel,
                 batch: 2,
                 seed: 3,
+                mode: WorkloadMode::Synthetic,
             },
         );
         println!("{variant}:");

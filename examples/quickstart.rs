@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel};
+use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel, WorkloadMode};
 
 fn main() {
     let engine = Engine::svgg11(42);
@@ -18,6 +18,7 @@ fn main() {
             timing: TimingModel::Analytic,
             batch,
             seed: 7,
+            mode: WorkloadMode::Synthetic,
         })
     };
 

@@ -14,7 +14,7 @@
 //! ```
 
 use spikestream_repro::core::{
-    AnalyticBackend, Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel,
+    AnalyticBackend, Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel, WorkloadMode,
 };
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
         timing: TimingModel::Analytic,
         batch: 128,
         seed: 0xC1FA,
+        mode: WorkloadMode::Synthetic,
     };
 
     let sharded = engine.run_sharded(&AnalyticBackend, &config, 8);

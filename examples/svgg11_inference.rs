@@ -6,7 +6,7 @@
 //! cargo run --release --example svgg11_inference -- [batch]
 //! ```
 
-use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel};
+use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel, WorkloadMode};
 
 fn main() {
     let batch: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(16);
@@ -19,6 +19,7 @@ fn main() {
             timing: TimingModel::Analytic,
             batch,
             seed: 11,
+            mode: WorkloadMode::Synthetic,
         })
     };
     let baseline = run(KernelVariant::Baseline);

@@ -12,15 +12,15 @@
 
 use std::process::ExitCode;
 
-use spikestream::{InferenceReport, Scenario};
+use spikestream::{InferenceReport, Scenario, TemporalEncoding, WorkloadMode};
 
 const USAGE: &str = "\
 spikestream — sharded batch-inference driver for the SpikeStream reproduction
 
 USAGE:
-    spikestream run <scenario.toml> [--shards N] [--batch N] [--json]
-    spikestream bench <scenario.toml> [--shards N1,N2,...]
-    spikestream compare <scenario.toml> [--shards N]
+    spikestream run <scenario.toml> [--shards N] [--batch N] [--timesteps N] [--json]
+    spikestream bench <scenario.toml> [--shards N1,N2,...] [--timesteps N]
+    spikestream compare <scenario.toml> [--shards N] [--timesteps N]
     spikestream help
 
 Scenario files are a strict TOML subset; see examples/scenarios/ for
@@ -30,19 +30,25 @@ OPTIONS:
     --shards N        Override the scenario's shard count
                       (for bench: comma-separated list, default 1,2,4,8)
     --batch N         Override the scenario's batch size
+    --timesteps N     Run the temporal pipeline for N timesteps (real spike
+                      propagation with persistent membranes; keeps the
+                      scenario's encoding, or direct coding by default)
     --json            Print the deterministic report JSON instead of tables
 ";
 
 const KEY_REFERENCE: &str = "\
 Scenario keys (all optional except the [scenario] header):
-    name    = \"string\"         scenario name, used in output headers
-    network = \"svgg11\"         svgg11 | tiny-cnn | tiny-pool
-    variant = \"spikestream\"    baseline | spikestream
-    format  = \"fp16\"           fp64 | fp32 | fp16 | fp8
-    timing  = \"analytic\"       analytic | cycle-level
-    batch   = 128               batch samples (>= 1)
-    seed    = 0xC1FA            workload seed (decimal or 0x hex)
-    shards  = 1                 simulated cluster shards (>= 1)
+    name      = \"string\"         scenario name, used in output headers
+    network   = \"svgg11\"         svgg11 | tiny-cnn | tiny-pool
+    variant   = \"spikestream\"    baseline | spikestream
+    format    = \"fp16\"           fp64 | fp32 | fp16 | fp8
+    timing    = \"analytic\"       analytic | cycle-level
+    batch     = 128               batch samples (>= 1)
+    seed      = 0xC1FA            workload seed (decimal or 0x hex)
+    shards    = 1                 simulated cluster shards (>= 1)
+    timesteps = 4                 temporal-pipeline steps (>= 1; setting this
+                                  or `encoding` enables real spike propagation)
+    encoding  = \"rate\"           rate | direct (temporal input coding)
 ";
 
 fn main() -> ExitCode {
@@ -90,6 +96,7 @@ fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
     let mut path = None;
     let mut shards_list = None;
     let mut batch = None;
+    let mut timesteps = None;
     let mut json = false;
 
     let mut it = args.iter();
@@ -119,6 +126,15 @@ fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
                 }
                 batch = Some(parsed);
             }
+            "--timesteps" => {
+                let value = it.next().ok_or("--timesteps needs a value")?;
+                let parsed: usize =
+                    value.parse().map_err(|_| format!("bad --timesteps value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--timesteps must be >= 1".into());
+                }
+                timesteps = Some(parsed);
+            }
             "--json" => {
                 if command != Command::Run {
                     return Err("--json is only supported by `run`".into());
@@ -137,6 +153,15 @@ fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
     if let Some(batch) = batch {
         scenario.config.batch = batch;
     }
+    if let Some(steps) = timesteps {
+        // Keep the scenario's encoding if it already runs temporally;
+        // otherwise switch the run to direct-coded temporal inference.
+        let encoding = match scenario.config.mode {
+            WorkloadMode::Temporal { encoding, .. } => encoding,
+            WorkloadMode::Synthetic => TemporalEncoding::Direct,
+        };
+        scenario.config.mode = WorkloadMode::Temporal { timesteps: steps, encoding };
+    }
     if let Some(list) = &shards_list {
         scenario.shards = list[0];
     }
@@ -150,16 +175,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("{}", report.to_json());
         return Ok(());
     }
+    let mode = match opts.scenario.config.mode {
+        WorkloadMode::Synthetic => "synthetic".to_string(),
+        WorkloadMode::Temporal { timesteps, encoding } => {
+            format!("temporal T={timesteps} ({encoding})")
+        }
+    };
     println!(
-        "scenario `{}`: {} · {} · {} · batch {} · {} shard(s)",
+        "scenario `{}`: {} · {} · {} · batch {} · {} shard(s) · {}",
         opts.scenario.name,
         report.network,
         report.variant,
         report.format,
         report.batch,
         opts.scenario.shards,
+        mode,
     );
     print_layer_table(&report);
+    print_timestep_table(&report);
     print_shard_table(&report);
     Ok(())
 }
@@ -266,6 +299,25 @@ fn print_layer_table(report: &InferenceReport) {
         report.total_energy_j() * 1e3,
         report.average_utilization(),
     );
+}
+
+fn print_timestep_table(report: &InferenceReport) {
+    let Some(steps) = &report.timesteps else { return };
+    println!(
+        "{:>5} {:>14} {:>14} {:>12} {:>24}",
+        "step", "cycles", "dma [B]", "energy [uJ]", "firing rates (per layer)"
+    );
+    for step in steps {
+        let rates: Vec<String> = step.firing_rates.iter().map(|r| format!("{r:.3}")).collect();
+        println!(
+            "{:>5} {:>14.0} {:>14.0} {:>12.3} {:>24}",
+            step.step,
+            step.cycles,
+            step.dma_bytes,
+            step.energy_j * 1e6,
+            rates.join(" "),
+        );
+    }
 }
 
 fn print_shard_table(report: &InferenceReport) {

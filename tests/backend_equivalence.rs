@@ -6,7 +6,7 @@
 
 use spikestream::{
     AnalyticBackend, CycleLevelBackend, Engine, ExecutionBackend, FiringProfile, FpFormat,
-    InferenceConfig, InferenceReport, KernelVariant, TimingModel,
+    InferenceConfig, InferenceReport, KernelVariant, TimingModel, WorkloadMode,
 };
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
@@ -58,6 +58,7 @@ fn config(timing: TimingModel, batch: usize) -> InferenceConfig {
         timing,
         batch,
         seed: 0xE0_15,
+        mode: WorkloadMode::Synthetic,
     }
 }
 
@@ -120,6 +121,7 @@ fn parallel_batch_128_is_byte_identical_to_sequential() {
         timing: TimingModel::Analytic,
         batch: 128,
         seed: 0xC1FA,
+        mode: WorkloadMode::Synthetic,
     };
     let parallel: InferenceReport = engine.run(&cfg);
     let sequential = engine.run_sequential(&AnalyticBackend, &cfg);

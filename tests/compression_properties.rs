@@ -45,6 +45,50 @@ proptest! {
         prop_assert_eq!(compressed.decompress(), spikes);
     }
 
+    /// A temporal run emits one AER frame per timestep; concatenating the
+    /// frames' events yields monotonically non-decreasing timestamps, with
+    /// frame `t` stamped exactly `t` — the property that makes the AER
+    /// stream of a temporal inference replayable in order.
+    #[test]
+    fn aer_frame_sequences_have_monotone_timestamps(
+        timesteps in 1usize..12,
+        h in 1usize..6,
+        w in 1usize..6,
+        c in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let shape = TensorShape::new(h, w, c);
+        let mut state = seed;
+        let maps: Vec<SpikeMap> = (0..timesteps)
+            .map(|_| {
+                let mut map = SpikeMap::silent(shape);
+                for i in 0..shape.len() {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if state >> 61 < 3 {
+                        map.set(i / (w * c), (i / c) % w, i % c, true);
+                    }
+                }
+                map
+            })
+            .collect();
+
+        let frames = AerFrame::sequence(&maps);
+        prop_assert_eq!(frames.len(), timesteps);
+        let mut last = 0u16;
+        for (t, (frame, map)) in frames.iter().zip(&maps).enumerate() {
+            // Frame t is stamped t and round-trips its step's spikes.
+            prop_assert!(frame.events().iter().all(|e| e.timestamp == t as u16));
+            prop_assert_eq!(&frame.decompress(), map);
+            // The concatenated event stream never goes backward in time.
+            for event in frame.events() {
+                prop_assert!(event.timestamp >= last);
+                last = event.timestamp;
+            }
+        }
+    }
+
     /// FP16 conversion round-trips exactly for values already representable
     /// in binary16, and is monotone for finite inputs.
     #[test]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use spikestream::{
     AnalyticBackend, BatchScheduler, CycleLevelBackend, Engine, FpFormat, InferenceConfig,
-    KernelVariant, NetworkChoice, Scenario, TimingModel,
+    KernelVariant, NetworkChoice, Scenario, TimingModel, WorkloadMode,
 };
 
 fn svgg11_config(batch: usize) -> InferenceConfig {
@@ -15,6 +15,7 @@ fn svgg11_config(batch: usize) -> InferenceConfig {
         timing: TimingModel::Analytic,
         batch,
         seed: 0xBEEF,
+        mode: WorkloadMode::Synthetic,
     }
 }
 
@@ -109,6 +110,7 @@ proptest! {
             timing: TimingModel::Analytic,
             batch,
             seed,
+            mode: WorkloadMode::Synthetic,
         };
         let sharded = engine.run_sharded(&AnalyticBackend, &config, shards);
         let fleet = sharded.shards.clone().expect("fleet stats present");
