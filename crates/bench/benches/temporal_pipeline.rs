@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spikestream::{
-    Engine, FpFormat, InferenceConfig, KernelVariant, NetworkChoice, TemporalEncoding, TimingModel,
+    Engine, FpFormat, InferenceConfig, KernelVariant, NetworkChoice, Request, TemporalEncoding,
+    TimingModel,
 };
 use std::time::Duration;
 
@@ -24,20 +25,34 @@ fn bench(c: &mut Criterion) {
     let (network, profile) = NetworkChoice::TinyCnn.build(7);
     let tiny = Engine::new(network, profile);
     let cycle_cfg = config(TimingModel::CycleLevel, 1, 4);
+    let tiny_plan = tiny.compile(&cycle_cfg);
+    let mut tiny_session = tiny_plan.open_session();
     c.bench_function("temporal_tiny_cycle_t4", |b| {
         b.iter(|| {
-            let report = tiny.run(std::hint::black_box(&cycle_cfg));
+            let report = tiny_session.infer(std::hint::black_box(&Request::batch(1)));
             assert_eq!(report.timesteps.as_ref().map(Vec::len), Some(4));
             report
         })
     });
 
-    // Analytic: the full S-VGG11, per-step symbolic integration.
+    // Analytic: the full S-VGG11, per-step symbolic integration. Serving
+    // from one plan (warm bucket cache) against compiling per request
+    // makes the amortized lowering directly visible.
     let svgg = Engine::svgg11(1);
     let analytic_cfg = config(TimingModel::Analytic, 4, 4);
-    c.bench_function("temporal_svgg11_analytic_t4", |b| {
+    let svgg_plan = svgg.compile(&analytic_cfg);
+    let mut svgg_session = svgg_plan.open_session();
+    svgg_session.infer(&Request::batch(4)); // warm the bucket cache
+    c.bench_function("temporal_svgg11_analytic_t4_plan_reuse", |b| {
         b.iter(|| {
-            let report = svgg.run(std::hint::black_box(&analytic_cfg));
+            let report = svgg_session.infer(std::hint::black_box(&Request::batch(4)));
+            assert_eq!(report.layers.len(), 8);
+            report
+        })
+    });
+    c.bench_function("temporal_svgg11_analytic_t4_compile_each", |b| {
+        b.iter(|| {
+            let report = svgg.compile(std::hint::black_box(&analytic_cfg)).run();
             assert_eq!(report.layers.len(), 8);
             report
         })

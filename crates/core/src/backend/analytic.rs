@@ -9,10 +9,9 @@
 //! `ir_equivalence` property tests pin the integrator against the
 //! interpreter.
 
-use snitch_arch::fp::FpFormat;
 use spikestream_energy::Activity;
-use spikestream_ir::{CostIntegrator, ProgramCost, StreamProgram};
-use spikestream_kernels::{ConvKernel, FcKernel, KernelVariant, PoolKernel};
+use spikestream_ir::{CostIntegrator, ProgramCost};
+use spikestream_kernels::LayerExecutor;
 use spikestream_snn::compress::INDEX_BYTES;
 use spikestream_snn::{AerEvent, Layer, LayerKind};
 
@@ -43,6 +42,7 @@ impl ExecutionBackend for AnalyticBackend {
 
     fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
         let integrator = CostIntegrator::new(ctx.cluster.clone(), ctx.cost.clone());
+        let executor = LayerExecutor::new(ctx.config.variant, ctx.config.format);
         let n = ctx.network.len();
         let timesteps = ctx.timesteps();
         out.reserve(n * timesteps);
@@ -50,59 +50,27 @@ impl ExecutionBackend for AnalyticBackend {
             for (idx, layer) in ctx.network.layers().iter().enumerate() {
                 let input_rate = ctx.sample_rate_at(idx, sample, step);
                 let output_rate = ctx.sample_rate_at((idx + 1).min(n - 1), sample, step);
-                let program = lower_layer(
-                    ctx,
-                    layer,
-                    ctx.config.variant,
-                    ctx.config.format,
-                    input_rate,
-                    output_rate,
-                );
-                let cost = integrator.integrate(&program);
+                // Plan-driven runs bind through the shared program cache —
+                // on the serving steady state the lowering and the cost
+                // integration both happened ahead of time (or once per
+                // realized sparsity bucket). A bare context lowers inline;
+                // both paths run the exact same emitter + integrator, so
+                // the samples are bit-identical.
+                let cost = match ctx.programs {
+                    Some(cache) => executor
+                        .bind_symbolic(cache, &integrator, idx, layer, input_rate, output_rate)
+                        .cost
+                        .clone(),
+                    None => integrator.integrate(&executor.lower_symbolic(
+                        ctx.cluster,
+                        layer,
+                        input_rate,
+                        output_rate,
+                    )),
+                };
                 out.push(layer_sample(ctx, layer, input_rate, &cost));
             }
         }
-    }
-}
-
-/// Lower one layer symbolically through its kernel emitter.
-fn lower_layer(
-    ctx: &SampleContext<'_>,
-    layer: &Layer,
-    variant: KernelVariant,
-    format: FpFormat,
-    input_rate: f64,
-    output_rate: f64,
-) -> StreamProgram {
-    match &layer.kind {
-        LayerKind::Conv(spec) if layer.encodes_input => {
-            spikestream_kernels::DenseEncodingKernel::new(variant, format).lower_symbolic(
-                ctx.cluster,
-                &layer.name,
-                spec,
-                output_rate,
-            )
-        }
-        LayerKind::Conv(spec) => ConvKernel::new(variant, format).lower_symbolic(
-            ctx.cluster,
-            &layer.name,
-            spec,
-            input_rate,
-            output_rate,
-        ),
-        LayerKind::AvgPool(spec) => PoolKernel::new(variant, format).lower_symbolic(
-            ctx.cluster,
-            &layer.name,
-            spec,
-            output_rate,
-        ),
-        LayerKind::Linear(spec) => FcKernel::new(variant, format).lower_symbolic(
-            ctx.cluster,
-            &layer.name,
-            spec,
-            input_rate,
-            output_rate,
-        ),
     }
 }
 

@@ -42,10 +42,20 @@ impl ExecutionBackend for CycleLevelBackend {
     }
 
     fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
+        self.run_sample_with_scratch(ctx, sample, out, &mut LayerScratch::new());
+    }
+
+    fn run_sample_with_scratch(
+        &self,
+        ctx: &SampleContext<'_>,
+        sample: usize,
+        out: &mut Vec<LayerSample>,
+        scratch: &mut LayerScratch,
+    ) {
         match ctx.config.mode {
-            WorkloadMode::Synthetic => self.run_synthetic(ctx, sample, out),
+            WorkloadMode::Synthetic => self.run_synthetic(ctx, sample, out, scratch),
             WorkloadMode::Temporal { encoding, .. } => {
-                self.run_temporal(ctx, sample, encoding, out)
+                self.run_temporal(ctx, sample, encoding, out, scratch)
             }
         }
     }
@@ -53,11 +63,16 @@ impl ExecutionBackend for CycleLevelBackend {
 
 impl CycleLevelBackend {
     /// The paper's single-shot path: one profile-sampled evaluation.
-    fn run_synthetic(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
+    fn run_synthetic(
+        &self,
+        ctx: &SampleContext<'_>,
+        sample: usize,
+        out: &mut Vec<LayerSample>,
+        scratch: &mut LayerScratch,
+    ) {
         let generator = WorkloadGenerator::new(ctx.profile.clone(), ctx.config.seed);
         let workload = generator.generate(ctx.network, sample);
         let executor = LayerExecutor::new(ctx.config.variant, ctx.config.format);
-        let mut scratch = LayerScratch::new();
         let mut cluster = ClusterModel::new(ctx.cluster.clone(), ctx.cost.clone());
         out.reserve(ctx.network.len());
 
@@ -66,7 +81,7 @@ impl CycleLevelBackend {
                 LayerKind::Conv(_) if layer.encodes_input => LayerInput::Image(&workload.image),
                 _ => LayerInput::Spikes(workload.spikes_for_layer(idx)),
             };
-            let exec = executor.run_with_scratch(&mut cluster, layer, input, &mut scratch);
+            let exec = executor.run_with_scratch(&mut cluster, layer, input, scratch);
             out.push(measure(ctx, &mut cluster, &layer.name, &exec));
         }
     }
@@ -79,6 +94,7 @@ impl CycleLevelBackend {
         sample: usize,
         encoding: spikestream_snn::TemporalEncoding,
         out: &mut Vec<LayerSample>,
+        scratch: &mut LayerScratch,
     ) {
         let layers = ctx.network.layers();
         assert!(
@@ -101,7 +117,6 @@ impl CycleLevelBackend {
         let encoder = TemporalEncoder::new(&image, encoding, encoder_seed);
 
         let executor = LayerExecutor::new(ctx.config.variant, ctx.config.format);
-        let mut scratch = LayerScratch::new();
         scratch.begin_sample(ctx.network);
         let mut cluster = ClusterModel::new(ctx.cluster.clone(), ctx.cost.clone());
         let timesteps = ctx.timesteps();
@@ -140,7 +155,7 @@ impl CycleLevelBackend {
                     LayerInput::Spikes(&staged)
                 };
                 let (exec, output) =
-                    executor.run_temporal_step(&mut cluster, layer, idx, input, &mut scratch);
+                    executor.run_temporal_step(&mut cluster, layer, idx, input, scratch);
                 let mut sample = measure(ctx, &mut cluster, &layer.name, &exec);
                 if let Some(frame) = aer_frame {
                     debug_assert_eq!(frame.events().len() as u64, exec.input_spikes);

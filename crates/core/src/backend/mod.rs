@@ -3,12 +3,13 @@
 //! An [`ExecutionBackend`] evaluates **one batch sample** of a network and
 //! returns one [`LayerSample`] per layer per timestep (synthetic runs
 //! evaluate a single step; temporal runs evaluate `T` real ones with
-//! membrane state carried between steps). The [`Engine`](crate::Engine)
-//! owns everything around that: it builds the shared [`SampleContext`],
-//! fans the batch out over worker threads (each sample is seeded
-//! independently and a sample's timesteps stay on one worker, so the
-//! parallel result is bit-identical to a sequential run), and averages the
-//! samples into an [`InferenceReport`](crate::InferenceReport).
+//! membrane state carried between steps). The serving layer owns
+//! everything around that: a compiled [`Plan`](crate::Plan) builds the
+//! shared [`SampleContext`] (program cache attached) and binds the backend
+//! as a plan-owned value, and its [`Session`](crate::Session)s fan
+//! requests out over worker arenas (each sample is seeded independently
+//! and a sample's timesteps stay on one worker, so the folded report is
+//! bit-identical to a sequential run).
 //!
 //! Two backends ship with the crate, mirroring the two timing models of
 //! the paper's evaluation. Both consume the *same* stream programs
@@ -22,9 +23,11 @@
 //!   validation.
 //!
 //! Third-party backends (accelerator models, event-driven simulators, …)
-//! implement the same trait and run through
-//! [`Engine::run_with_backend`](crate::Engine::run_with_backend) without
-//! touching the engine.
+//! implement the same trait and either bind into a plan at compile time
+//! ([`Compiler::with_backend`](crate::Compiler::with_backend)) or serve
+//! individual requests through
+//! [`Session::infer_with_backend`](crate::Session::infer_with_backend) —
+//! no engine changes either way.
 
 mod analytic;
 mod cycle;
@@ -37,6 +40,8 @@ use rand::{Rng, SeedableRng};
 
 use snitch_arch::{ClusterConfig, CostModel};
 use spikestream_energy::EnergyModel;
+use spikestream_ir::ProgramCache;
+use spikestream_kernels::LayerScratch;
 use spikestream_snn::{FiringProfile, Network, TemporalSparsityModel, WorkloadMode};
 
 use crate::engine::{InferenceConfig, TimingModel};
@@ -58,6 +63,12 @@ pub struct SampleContext<'a> {
     pub energy: &'a EnergyModel,
     /// The inference configuration of this run.
     pub config: &'a InferenceConfig,
+    /// The plan-owned symbolic program cache, when the run is driven by a
+    /// compiled [`Plan`](crate::Plan). Backends that lower symbolically
+    /// (the analytic backend) bind programs through it instead of
+    /// re-emitting per sample; `None` (a bare context built outside a
+    /// plan) falls back to inline lowering with bit-identical results.
+    pub programs: Option<&'a ProgramCache>,
 }
 
 impl SampleContext<'_> {
@@ -136,12 +147,12 @@ pub struct LayerSample {
 ///
 /// # Example
 ///
-/// A custom backend plugs into the engine without engine changes:
+/// A custom backend binds into a plan without engine changes:
 ///
 /// ```
 /// use spikestream::{
 ///     Engine, ExecutionBackend, FpFormat, InferenceConfig, KernelVariant, LayerSample,
-///     SampleContext, TimingModel,
+///     Request, SampleContext, TimingModel,
 /// };
 ///
 /// /// A toy backend charging one cycle per expected synaptic operation.
@@ -173,7 +184,12 @@ pub struct LayerSample {
 ///     seed: 7,
 ///     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
 /// };
-/// let report = engine.run_with_backend(&SynopCounting, &config);
+/// let plan = engine
+///     .compiler()
+///     .with_backend(Box::new(SynopCounting))
+///     .compile(config)
+///     .unwrap();
+/// let report = plan.open_session().infer(&Request::batch(2));
 /// assert!(report.total_cycles() > 0.0);
 /// ```
 pub trait ExecutionBackend: Send + Sync {
@@ -199,13 +215,86 @@ pub trait ExecutionBackend: Send + Sync {
     fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
         out.extend(self.run_sample(ctx, sample));
     }
+
+    /// Evaluate batch sample `sample` with caller-owned kernel scratch —
+    /// the entry point [`Session`](crate::Session) workers drive through
+    /// their [`WorkerArena`]s, so compressed-input buffers and persistent
+    /// membrane state are reused across every sample (and request) the
+    /// worker serves. Must produce samples identical to
+    /// [`ExecutionBackend::run_sample_into`]; the default ignores the
+    /// scratch for backends that keep no kernel state.
+    fn run_sample_with_scratch(
+        &self,
+        ctx: &SampleContext<'_>,
+        sample: usize,
+        out: &mut Vec<LayerSample>,
+        _scratch: &mut LayerScratch,
+    ) {
+        self.run_sample_into(ctx, sample, out);
+    }
 }
 
-/// The built-in backend implementing a [`TimingModel`].
-pub fn for_timing(timing: TimingModel) -> &'static dyn ExecutionBackend {
+/// The built-in backend implementing a [`TimingModel`], as an owned value.
+///
+/// Compiled [`Plan`](crate::Plan)s *own* their backend binding — there is
+/// no `&'static` registry to reach through, which keeps `Plan: Send +
+/// Sync` a plain structural property and lets third parties bind their own
+/// backends at compile time via
+/// [`Compiler::with_backend`](crate::Compiler::with_backend).
+pub fn backend_for(timing: TimingModel) -> Box<dyn ExecutionBackend> {
     match timing {
-        TimingModel::Analytic => &AnalyticBackend,
-        TimingModel::CycleLevel => &CycleLevelBackend,
+        TimingModel::Analytic => Box::new(AnalyticBackend),
+        TimingModel::CycleLevel => Box::new(CycleLevelBackend),
+    }
+}
+
+/// Per-worker scratch arena a [`Session`](crate::Session) owns for each of
+/// its worker slots: the per-sample [`LayerSample`] staging buffer plus the
+/// kernels' [`LayerScratch`] (compressed-input buffers and the persistent
+/// per-layer membrane state of temporal samples). Reused for every sample
+/// the worker steals, across requests — in the serving steady state no
+/// buffer grows, which the [`WorkerArena::grows`] counter makes
+/// observable (and tests assert).
+#[derive(Debug, Default)]
+pub struct WorkerArena {
+    samples: Vec<LayerSample>,
+    kernel: LayerScratch,
+    runs: u64,
+    grows: u64,
+}
+
+impl WorkerArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate one batch sample through `backend`, staging the results in
+    /// this arena's buffers. The returned slice is valid until the next
+    /// call.
+    pub fn run_sample<'a>(
+        &'a mut self,
+        backend: &dyn ExecutionBackend,
+        ctx: &SampleContext<'_>,
+        sample: usize,
+    ) -> &'a [LayerSample] {
+        let capacity = self.samples.capacity();
+        self.samples.clear();
+        backend.run_sample_with_scratch(ctx, sample, &mut self.samples, &mut self.kernel);
+        self.runs += 1;
+        self.grows += u64::from(self.samples.capacity() != capacity);
+        &self.samples
+    }
+
+    /// Samples this arena has evaluated since construction.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Times the staging buffer had to grow; stays flat once the arena
+    /// reaches steady-state capacity.
+    pub fn grows(&self) -> u64 {
+        self.grows
     }
 }
 
@@ -214,9 +303,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn for_timing_selects_the_matching_backend() {
-        assert_eq!(for_timing(TimingModel::Analytic).name(), "analytic");
-        assert_eq!(for_timing(TimingModel::CycleLevel).name(), "cycle-level");
+    fn backend_for_selects_the_matching_backend_as_an_owned_value() {
+        assert_eq!(backend_for(TimingModel::Analytic).name(), "analytic");
+        assert_eq!(backend_for(TimingModel::CycleLevel).name(), "cycle-level");
     }
 
     #[test]
@@ -237,6 +326,7 @@ mod tests {
             cost: &cost,
             energy: &energy,
             config: &config,
+            programs: None,
         };
         // Layer 0 is the dense encoding layer: no jitter.
         assert_eq!(ctx.sample_rate(0, 0), ctx.sample_rate(0, 5));
@@ -268,6 +358,7 @@ mod tests {
             cost: &cost,
             energy: &energy,
             config: &config,
+            programs: None,
         };
         assert_eq!(ctx.timesteps(), 4);
         // Spiking layers warm up toward the steady-state profile rate...

@@ -1,13 +1,16 @@
-//! The inference engine: runs a network on the modelled cluster.
+//! The inference engine: model container and compile-once entry point.
 //!
-//! The engine is backend-agnostic: per-sample evaluation lives behind the
-//! [`ExecutionBackend`] trait (see [`crate::backend`]), and [`Engine::run`]
-//! fans the batch out over worker threads. Every sample derives its
-//! randomness from `(config.seed, sample)` alone, so the parallel result
-//! is bit-identical to a sequential run — [`Engine::run_sequential`] exists
-//! to assert exactly that.
+//! [`Engine`] binds a network, a firing profile and the hardware and
+//! energy models. Since the serving redesign it has exactly one execution
+//! entry point: [`Engine::compile`] produces a [`Plan`] (validated config,
+//! plan-owned backend, ahead-of-time lowered program cache), and the
+//! plan's [`Session`](crate::Session)s serve requests. The historical
+//! per-call entry points — [`Engine::run`], [`Engine::run_with_backend`],
+//! [`Engine::run_sharded`], [`Engine::run_sequential`] — survive as thin
+//! deprecated wrappers over a one-shot session and produce bit-identical
+//! reports (the golden-JSON suite in `tests/serving_equivalence.rs` pins
+//! that against pre-redesign captures).
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use snitch_arch::fp::FpFormat;
@@ -16,9 +19,10 @@ use spikestream_energy::EnergyModel;
 use spikestream_kernels::KernelVariant;
 use spikestream_snn::{FiringProfile, Network, TemporalEncoding, WorkloadMode};
 
-use crate::backend::{self, ExecutionBackend, LayerSample, SampleContext};
-use crate::report::{InferenceReport, LayerReport, TimestepReport};
-use crate::sharding::BatchScheduler;
+use crate::backend::{ExecutionBackend, SampleContext};
+use crate::plan::{Compiler, Plan};
+use crate::report::InferenceReport;
+use crate::session::Request;
 
 /// Which timing model the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,6 +72,19 @@ impl InferenceConfig {
     pub fn temporal(mut self, timesteps: usize, encoding: TemporalEncoding) -> Self {
         self.mode = WorkloadMode::Temporal { timesteps: timesteps.max(1), encoding };
         self
+    }
+
+    /// The same configuration with the temporal step count replaced,
+    /// keeping the existing encoding (or direct coding when switching a
+    /// synthetic configuration to the temporal pipeline) — the semantics
+    /// of the CLI's `--timesteps` flag and of
+    /// [`Request::timesteps`](crate::Request::timesteps).
+    pub fn temporal_steps(self, timesteps: usize) -> Self {
+        let encoding = match self.mode {
+            WorkloadMode::Temporal { encoding, .. } => encoding,
+            WorkloadMode::Synthetic => TemporalEncoding::Direct,
+        };
+        self.temporal(timesteps, encoding)
     }
 
     /// Timesteps one sample evaluates (1 for synthetic runs).
@@ -146,7 +163,32 @@ impl Engine {
         self
     }
 
-    /// The shared per-sample evaluation context for `config`.
+    /// A [`Compiler`] seeded with this engine's models — the single
+    /// construction path behind every execution entry point (the CLI and
+    /// `Scenario` route through the same type).
+    pub fn compiler(&self) -> Compiler {
+        Compiler::new(self.network.clone(), self.profile.clone())
+            .with_cluster(self.cluster.clone())
+            .with_cost_model(self.cost.clone())
+            .with_energy_model(self.energy.clone())
+    }
+
+    /// Compile `config` into a servable [`Plan`]: validation, backend
+    /// binding and the ahead-of-time lowering of every layer's stream
+    /// program happen here, once — sessions opened on the plan only
+    /// interpret cached programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if compilation fails validation; [`Engine::new`] already
+    /// guarantees the profile invariant, so this only fires for zero-sized
+    /// batches. Use [`Compiler::compile`] for a fallible variant.
+    pub fn compile(&self, config: &InferenceConfig) -> Plan {
+        self.compiler().compile(*config).expect("engine configuration must compile")
+    }
+
+    /// The shared per-sample evaluation context for `config` (outside any
+    /// plan: no program cache is attached).
     pub fn sample_context<'a>(&'a self, config: &'a InferenceConfig) -> SampleContext<'a> {
         SampleContext {
             network: &self.network,
@@ -155,265 +197,92 @@ impl Engine {
             cost: &self.cost,
             energy: &self.energy,
             config,
+            programs: None,
         }
     }
 
+    /// The historical entry points tolerated `batch: 0` by clamping it to
+    /// one sample; the strict [`Engine::compile`] rejects it. The wrappers
+    /// keep the old behavior so their reports stay bit-identical.
+    fn legacy_config(config: &InferenceConfig) -> InferenceConfig {
+        InferenceConfig { batch: config.batch.max(1), ..*config }
+    }
+
     /// Run the network under `config` and return the averaged report.
-    ///
-    /// Batch samples execute in parallel; the built-in backend matching
-    /// `config.timing` evaluates each sample.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile once and serve: `engine.compile(config).run()` (or open a Session)"
+    )]
     pub fn run(&self, config: &InferenceConfig) -> InferenceReport {
-        self.run_with_backend(backend::for_timing(config.timing), config)
+        self.compile(&Self::legacy_config(config)).run()
     }
 
-    /// Work units one batch sample contributes to the flat result buffer:
-    /// one [`LayerSample`] per layer per timestep. Synthetic runs evaluate
-    /// a single (synthetic) timestep; temporal runs evaluate `T` real ones.
-    fn units_per_sample(&self, config: &InferenceConfig) -> usize {
-        self.network.len() * config.timesteps()
-    }
-
-    /// Run the network through an explicit [`ExecutionBackend`], fanning
-    /// batch samples out over worker threads.
-    ///
-    /// Samples are independently seeded, so the report is bit-identical to
-    /// [`Engine::run_sequential`] with the same backend and config. In
-    /// temporal mode a sample's timesteps stay together on one worker (the
-    /// membrane state lives in that worker's scratch), so parallelism is
-    /// across samples only — exactly like the sequential reference.
+    /// Run the network through an explicit, caller-borrowed backend.
+    #[deprecated(
+        since = "0.2.0",
+        note = "bind the backend into a plan (`Compiler::with_backend`) or use \
+                `Session::infer_with_backend`"
+    )]
     pub fn run_with_backend(
         &self,
         backend: &dyn ExecutionBackend,
         config: &InferenceConfig,
     ) -> InferenceReport {
-        let ctx = self.sample_context(config);
-        let batch = config.batch.max(1);
-        let per_sample: Vec<Vec<LayerSample>> =
-            (0..batch).into_par_iter().map(|sample| backend.run_sample(&ctx, sample)).collect();
-        let flat: Vec<LayerSample> = per_sample.into_iter().flatten().collect();
-        self.summarize_batch(&flat, config, batch)
+        self.compile(&Self::legacy_config(config))
+            .open_session()
+            .infer_with_backend(backend, &Request::batch(config.batch))
     }
 
-    /// Run the network under `config` on a fleet of `shards` simulated
-    /// clusters through the work-stealing [`BatchScheduler`].
-    ///
-    /// The aggregate layer statistics are bit-identical to
-    /// [`Engine::run_sequential`] with the same backend and config — only
-    /// the [`shards`](InferenceReport::shards) fleet statistics
-    /// (utilization, imbalance, makespan) are added on top.
+    /// Run the network on a fleet of `shards` simulated clusters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "serve a sharded request: `session.infer(&Request::batch(n).with_shards(s))`"
+    )]
     pub fn run_sharded(
         &self,
         backend: &dyn ExecutionBackend,
         config: &InferenceConfig,
         shards: usize,
     ) -> InferenceReport {
-        let ctx = self.sample_context(config);
-        let batch = config.batch.max(1);
-        let sharded =
-            BatchScheduler::new(shards).run(backend, &ctx, batch, self.units_per_sample(config));
-        let mut report = self.summarize_batch(sharded.samples(), config, batch);
-        report.shards = Some(sharded.summary());
-        report
+        self.compile(&Self::legacy_config(config))
+            .open_session()
+            .infer_with_backend(backend, &Request::batch(config.batch).with_shards(shards))
     }
 
-    /// Single-threaded reference of [`Engine::run_with_backend`]; exists so
-    /// tests can assert the parallel and sharded paths are bit-identical.
+    /// Single-threaded reference run; bit-identical to the parallel paths.
+    #[deprecated(
+        since = "0.2.0",
+        note = "serve a sequential request: `session.infer(&Request::batch(n).sequential())`"
+    )]
     pub fn run_sequential(
         &self,
         backend: &dyn ExecutionBackend,
         config: &InferenceConfig,
     ) -> InferenceReport {
-        let ctx = self.sample_context(config);
-        let batch = config.batch.max(1);
-        let mut flat: Vec<LayerSample> = Vec::with_capacity(batch * self.units_per_sample(config));
-        for sample in 0..batch {
-            backend.run_sample_into(&ctx, sample, &mut flat);
-        }
-        self.summarize_batch(&flat, config, batch)
+        self.compile(&Self::legacy_config(config))
+            .open_session()
+            .infer_with_backend(backend, &Request::batch(config.batch).sequential())
     }
-
-    /// Average per-sample measurements into the final report. `flat` holds
-    /// sample-major measurements; within one sample the layout is
-    /// step-major (timestep `t`, layer `l` at `t * layer_count + l` — one
-    /// step for synthetic runs). This is the layout shared by the
-    /// sequential loop, the parallel fan-out and the sharded scheduler.
-    ///
-    /// Synthetic runs take the historical path untouched, so their reports
-    /// stay bit-identical. Temporal runs first fold each sample's `T x L`
-    /// block into per-layer totals (cycles/energy/spikes/synops summed over
-    /// steps, rates and footprints averaged, utilization/IPC cycle-weighted)
-    /// and additionally derive the per-timestep breakdown.
-    fn summarize_batch(
-        &self,
-        flat: &[LayerSample],
-        config: &InferenceConfig,
-        batch: usize,
-    ) -> InferenceReport {
-        let layer_count = self.network.len();
-        let timesteps = config.timesteps();
-        let stride = self.units_per_sample(config);
-        assert_eq!(
-            flat.len(),
-            batch * stride,
-            "backend must return exactly one LayerSample per layer per timestep per sample"
-        );
-
-        let (per_layer, timestep_reports): (std::borrow::Cow<'_, [LayerSample]>, _) =
-            if config.mode.is_temporal() {
-                let folded = fold_temporal_samples(flat, batch, timesteps, layer_count);
-                let steps = summarize_timesteps(flat, batch, timesteps, layer_count);
-                (folded.into(), Some(steps))
-            } else {
-                // The synthetic path stays zero-copy: one step per sample
-                // means the flat buffer already is the per-layer view.
-                (flat.into(), None)
-            };
-
-        let layers = self
-            .network
-            .layers()
-            .iter()
-            .enumerate()
-            .map(|(idx, layer)| {
-                let samples: Vec<LayerSample> =
-                    per_layer[idx..].iter().step_by(layer_count).copied().collect();
-                self.summarize(layer.name.clone(), &samples)
-            })
-            .collect();
-
-        InferenceReport {
-            network: self.network.name.clone(),
-            variant: config.variant,
-            format: config.format,
-            batch,
-            layers,
-            timesteps: timestep_reports,
-            shards: None,
-        }
-    }
-
-    fn summarize(&self, name: String, samples: &[LayerSample]) -> LayerReport {
-        let n = samples.len().max(1) as f64;
-        let mean = |f: fn(&LayerSample) -> f64| samples.iter().map(f).sum::<f64>() / n;
-        let cycles_mean = mean(|s| s.cycles);
-        let cycles_var = samples.iter().map(|s| (s.cycles - cycles_mean).powi(2)).sum::<f64>() / n;
-        let seconds = cycles_mean / self.cluster.clock_hz;
-        let energy = mean(|s| s.energy_j);
-        LayerReport {
-            name,
-            cycles: cycles_mean,
-            cycles_std: cycles_var.sqrt(),
-            seconds,
-            fpu_utilization: mean(|s| s.fpu_utilization),
-            ipc: mean(|s| s.ipc),
-            input_firing_rate: mean(|s| s.input_firing_rate),
-            input_spikes: mean(|s| s.input_spikes),
-            synops: mean(|s| s.synops),
-            energy_j: energy,
-            power_w: if seconds > 0.0 { energy / seconds } else { 0.0 },
-            csr_footprint_bytes: mean(|s| s.csr_footprint_bytes),
-            aer_footprint_bytes: mean(|s| s.aer_footprint_bytes),
-        }
-    }
-}
-
-/// Fold each sample's `T x L` temporal block into one [`LayerSample`] per
-/// layer: extensive quantities (cycles, energy, spikes, synops, DMA) sum
-/// over the steps, rates and footprints average, and utilization/IPC are
-/// cycle-weighted means — so a layer's folded sample describes the whole
-/// T-step inference of that sample.
-fn fold_temporal_samples(
-    flat: &[LayerSample],
-    batch: usize,
-    timesteps: usize,
-    layer_count: usize,
-) -> Vec<LayerSample> {
-    let stride = timesteps * layer_count;
-    let mut folded = Vec::with_capacity(batch * layer_count);
-    for sample in 0..batch {
-        for layer in 0..layer_count {
-            let mut acc = LayerSample::default();
-            for step in 0..timesteps {
-                let s = &flat[sample * stride + step * layer_count + layer];
-                acc.cycles += s.cycles;
-                acc.energy_j += s.energy_j;
-                acc.input_spikes += s.input_spikes;
-                acc.synops += s.synops;
-                acc.dma_bytes += s.dma_bytes;
-                acc.fpu_utilization += s.fpu_utilization * s.cycles;
-                acc.ipc += s.ipc * s.cycles;
-                acc.input_firing_rate += s.input_firing_rate;
-                acc.csr_footprint_bytes += s.csr_footprint_bytes;
-                acc.aer_footprint_bytes += s.aer_footprint_bytes;
-            }
-            let t = timesteps as f64;
-            if acc.cycles > 0.0 {
-                acc.fpu_utilization /= acc.cycles;
-                acc.ipc /= acc.cycles;
-            }
-            acc.input_firing_rate /= t;
-            acc.csr_footprint_bytes /= t;
-            acc.aer_footprint_bytes /= t;
-            folded.push(acc);
-        }
-    }
-    folded
-}
-
-/// Batch-averaged per-timestep breakdown of a temporal run: for every step,
-/// the total cycles and DMA bytes of that step plus the per-layer input
-/// firing rates — the emergent sparsity trajectory Fig. 3a only shows in
-/// steady state.
-fn summarize_timesteps(
-    flat: &[LayerSample],
-    batch: usize,
-    timesteps: usize,
-    layer_count: usize,
-) -> Vec<TimestepReport> {
-    let stride = timesteps * layer_count;
-    let n = batch.max(1) as f64;
-    (0..timesteps)
-        .map(|step| {
-            let mut cycles = 0.0;
-            let mut dma_bytes = 0.0;
-            let mut energy_j = 0.0;
-            let mut firing_rates = vec![0.0f64; layer_count];
-            for sample in 0..batch {
-                for layer in 0..layer_count {
-                    let s = &flat[sample * stride + step * layer_count + layer];
-                    cycles += s.cycles;
-                    dma_bytes += s.dma_bytes;
-                    energy_j += s.energy_j;
-                    firing_rates[layer] += s.input_firing_rate;
-                }
-            }
-            firing_rates.iter_mut().for_each(|r| *r /= n);
-            TimestepReport {
-                step,
-                cycles: cycles / n,
-                dma_bytes: dma_bytes / n,
-                energy_j: energy_j / n,
-                firing_rates,
-            }
-        })
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::{AnalyticBackend, CycleLevelBackend};
+    use crate::session::Request;
 
     fn analytic(variant: KernelVariant, format: FpFormat) -> InferenceReport {
         let engine = Engine::svgg11(1);
-        engine.run(&InferenceConfig {
-            variant,
-            format,
-            timing: TimingModel::Analytic,
-            batch: 8,
-            seed: 3,
-            mode: WorkloadMode::Synthetic,
-        })
+        engine
+            .compile(&InferenceConfig {
+                variant,
+                format,
+                timing: TimingModel::Analytic,
+                batch: 8,
+                seed: 3,
+                mode: WorkloadMode::Synthetic,
+            })
+            .run()
     }
 
     #[test]
@@ -452,18 +321,19 @@ mod tests {
     }
 
     #[test]
-    fn parallel_run_is_bit_identical_to_sequential() {
+    fn parallel_session_is_bit_identical_to_sequential() {
         let engine = Engine::svgg11(9);
-        let config = InferenceConfig {
+        let plan = engine.compile(&InferenceConfig {
             variant: KernelVariant::SpikeStream,
             format: FpFormat::Fp16,
             timing: TimingModel::Analytic,
             batch: 32,
             seed: 0xBEEF,
             mode: WorkloadMode::Synthetic,
-        };
-        let parallel = engine.run(&config);
-        let sequential = engine.run_sequential(&AnalyticBackend, &config);
+        });
+        let mut session = plan.open_session();
+        let parallel = session.infer(&Request::batch(32));
+        let sequential = session.infer(&Request::batch(32).sequential());
         assert_eq!(parallel, sequential);
         assert_eq!(parallel.to_json(), sequential.to_json());
     }
@@ -479,13 +349,32 @@ mod tests {
             seed: 5,
             mode: WorkloadMode::Synthetic,
         };
-        assert_eq!(engine.run(&config), engine.run_with_backend(&AnalyticBackend, &config));
+        let plan = engine.compile(&config);
+        let implicit = plan.run();
+        let explicit =
+            plan.open_session().infer_with_backend(&AnalyticBackend, &Request::batch(config.batch));
+        assert_eq!(implicit, explicit);
     }
 
     #[test]
     #[should_panic(expected = "firing profile covers 3 layers")]
     fn short_firing_profile_is_rejected_at_engine_construction() {
         let _ = Engine::new(Network::svgg11(1), FiringProfile::uniform(3, 0.2));
+    }
+
+    #[test]
+    fn temporal_steps_override_keeps_the_encoding() {
+        let base = InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16);
+        let temporal = base.temporal(4, TemporalEncoding::Rate).temporal_steps(2);
+        assert_eq!(
+            temporal.mode,
+            WorkloadMode::Temporal { timesteps: 2, encoding: TemporalEncoding::Rate }
+        );
+        let switched = base.temporal_steps(3);
+        assert_eq!(
+            switched.mode,
+            WorkloadMode::Temporal { timesteps: 3, encoding: TemporalEncoding::Direct }
+        );
     }
 
     #[test]
@@ -497,7 +386,9 @@ mod tests {
             ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
         }
         .temporal(4, TemporalEncoding::Direct);
-        let report = engine.run(&config);
+        let plan = engine.compile(&config);
+        let mut session = plan.open_session();
+        let report = session.infer(&Request::batch(6));
         assert_eq!(report.layers.len(), 8, "layer reports still cover the network");
         let steps = report.timesteps.as_ref().expect("temporal runs carry per-step stats");
         assert_eq!(steps.len(), 4);
@@ -514,7 +405,7 @@ mod tests {
         // Per-step firing rates appear in the JSON rendering.
         assert!(report.to_json().contains("\"timesteps\":[{\"step\":0"));
         // The parallel fan-out stays bit-identical to the sequential loop.
-        let sequential = engine.run_sequential(&AnalyticBackend, &config);
+        let sequential = session.infer(&Request::batch(6).sequential());
         assert_eq!(report.to_json(), sequential.to_json());
     }
 
@@ -526,13 +417,20 @@ mod tests {
             seed: 1,
             ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
         };
-        let t2 = engine.run(&base.temporal(2, TemporalEncoding::Direct));
-        let t6 = engine.run(&base.temporal(6, TemporalEncoding::Direct));
+        let t2 = engine.compile(&base.temporal(2, TemporalEncoding::Direct)).run();
+        let t6 = engine.compile(&base.temporal(6, TemporalEncoding::Direct)).run();
         // More steps, more total work — and the per-layer cycles cover the
         // whole T-step inference.
         assert!(t6.total_cycles() > 2.0 * t2.total_cycles());
         assert_eq!(t2.timesteps.as_ref().unwrap().len(), 2);
         assert_eq!(t6.timesteps.as_ref().unwrap().len(), 6);
+        // A per-request timestep override serves the same breakdown from
+        // one compiled plan.
+        let overridden = engine
+            .compile(&base.temporal(2, TemporalEncoding::Direct))
+            .open_session()
+            .infer(&Request::batch(2).with_timesteps(6));
+        assert_eq!(overridden.to_json(), t6.to_json());
     }
 
     #[test]
@@ -591,14 +489,17 @@ mod tests {
             seed: 11,
             mode: WorkloadMode::Synthetic,
         };
-        let base = engine.run(&cfg(KernelVariant::Baseline));
-        let fast = engine.run(&cfg(KernelVariant::SpikeStream));
+        let base = engine.compile(&cfg(KernelVariant::Baseline)).run();
+        let fast = engine.compile(&cfg(KernelVariant::SpikeStream)).run();
         assert_eq!(base.layers.len(), 3);
         assert!(fast.total_cycles() < base.total_cycles());
 
-        // The cycle-level backend is deterministic through the parallel path
+        // The cycle-level backend is deterministic through the session path
         // as well.
-        let again = engine.run_sequential(&CycleLevelBackend, &cfg(KernelVariant::Baseline));
+        let again = engine
+            .compile(&cfg(KernelVariant::Baseline))
+            .open_session()
+            .infer_with_backend(&CycleLevelBackend, &Request::batch(1).sequential());
         assert_eq!(base, again);
     }
 
@@ -633,7 +534,7 @@ mod tests {
 
         let run = |timing, variant| {
             engine
-                .run(&InferenceConfig {
+                .compile(&InferenceConfig {
                     variant,
                     format: FpFormat::Fp16,
                     timing,
@@ -641,6 +542,7 @@ mod tests {
                     seed: 2,
                     mode: WorkloadMode::Synthetic,
                 })
+                .run()
                 .total_cycles()
         };
         // The workload generator only produces spike inputs for layers >= 1,

@@ -140,9 +140,9 @@ fn config(variant: KernelVariant, format: FpFormat, batch: usize) -> InferenceCo
 
 fn reports(batch: usize) -> (InferenceReport, InferenceReport, InferenceReport) {
     let engine = Engine::svgg11(42);
-    let base16 = engine.run(&config(KernelVariant::Baseline, FpFormat::Fp16, batch));
-    let ss16 = engine.run(&config(KernelVariant::SpikeStream, FpFormat::Fp16, batch));
-    let ss8 = engine.run(&config(KernelVariant::SpikeStream, FpFormat::Fp8, batch));
+    let base16 = engine.compile(&config(KernelVariant::Baseline, FpFormat::Fp16, batch)).run();
+    let ss16 = engine.compile(&config(KernelVariant::SpikeStream, FpFormat::Fp16, batch)).run();
+    let ss8 = engine.compile(&config(KernelVariant::SpikeStream, FpFormat::Fp8, batch)).run();
     (base16, ss16, ss8)
 }
 
@@ -150,7 +150,7 @@ fn reports(batch: usize) -> (InferenceReport, InferenceReport, InferenceReport) 
 /// activity across the S-VGG11 layers.
 pub fn fig3a_footprint(batch: usize) -> Vec<FootprintRow> {
     let engine = Engine::svgg11(42);
-    let report = engine.run(&config(KernelVariant::SpikeStream, FpFormat::Fp16, batch));
+    let report = engine.compile(&config(KernelVariant::SpikeStream, FpFormat::Fp16, batch)).run();
     report
         .layers
         .iter()
@@ -279,7 +279,7 @@ pub fn ablation(batch: usize) -> Vec<AblationRow> {
     let mut rows = Vec::new();
 
     let run = |engine: &Engine, variant, format| {
-        let r = engine.run(&config(variant, format, batch));
+        let r = engine.compile(&config(variant, format, batch)).run();
         (r.total_cycles(), r.average_utilization())
     };
 

@@ -16,40 +16,59 @@
 //! neuromorphic-accelerator models (`neuro-accel-models`) — behind one
 //! public API:
 //!
-//! * [`Engine`] runs a network under an [`InferenceConfig`] (code variant,
-//!   floating-point format, timing model, batch size) and produces an
-//!   [`InferenceReport`] with per-layer runtime, utilization, IPC, power
-//!   and energy — fanning batch samples out over worker threads;
+//! The public API is a three-stage, compile-once serving lifecycle:
+//!
+//! ```text
+//! Compiler ──compile──▶ Plan ──open_session──▶ Session ──run──▶ ResultSink
+//! ```
+//!
+//! * [`Compiler`] / [`Engine::compile`] perform every per-model step once
+//!   — config/profile validation, binding the execution backend as a
+//!   plan-owned value, and ahead-of-time lowering of every layer's stream
+//!   program into the plan-owned cache;
+//! * [`Plan`] is the immutable, `Send + Sync` servable artifact; its
+//!   [`Session`]s own the worker scratch arenas and per-sample membrane
+//!   state and serve [`Request`]s, streaming per-sample results through a
+//!   [`ResultSink`] as they complete ([`Session::infer`] folds the stream
+//!   into an [`InferenceReport`]);
 //! * [`backend`] is the pluggable execution layer: the analytic and
 //!   cycle-level timing models are [`ExecutionBackend`] implementations,
-//!   and custom backends run through [`Engine::run_with_backend`];
-//! * [`sharding`] is the fleet layer: [`Engine::run_sharded`] spreads a
-//!   batch over N simulated cluster shards through the work-stealing
-//!   [`BatchScheduler`], with per-shard utilization/imbalance statistics
-//!   in the report (aggregates stay bit-identical to
-//!   [`Engine::run_sequential`]);
+//!   and custom backends bind via [`Compiler::with_backend`] or serve via
+//!   [`Session::infer_with_backend`];
+//! * [`sharding`] is the fleet layer: a request with
+//!   [`Request::with_shards`] attributes its samples to N simulated
+//!   cluster shards with per-shard utilization/imbalance statistics in the
+//!   report (aggregates stay bit-identical to a sequential request);
 //! * [`scenario`] parses the declarative scenario files driving the
 //!   `spikestream` CLI (`run` / `bench` / `compare`);
 //! * [`experiments`] regenerates every figure of the paper's evaluation.
 //!
+//! The historical per-call entry points (`Engine::run`,
+//! `Engine::run_sharded`, …) remain as deprecated wrappers over a one-shot
+//! session and produce bit-identical reports.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use spikestream::{Engine, InferenceConfig, KernelVariant};
-//! use spikestream::FpFormat;
+//! use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, Request};
 //!
 //! let engine = Engine::svgg11(42);
-//! let baseline = engine.run(&InferenceConfig {
+//! // Compile once per configuration...
+//! let baseline = engine.compile(&InferenceConfig {
 //!     batch: 4,
 //!     seed: 7,
 //!     ..InferenceConfig::paper(KernelVariant::Baseline, FpFormat::Fp16)
 //! });
-//! let streamed = engine.run(&InferenceConfig {
+//! let streamed = engine.compile(&InferenceConfig {
 //!     batch: 4,
 //!     seed: 7,
 //!     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
 //! });
-//! assert!(streamed.total_cycles() < baseline.total_cycles());
+//! // ... then serve: a long-lived session amortizes the lowering over
+//! // every request it handles.
+//! let mut session = streamed.open_session();
+//! let fast = session.infer(&Request::batch(4));
+//! assert!(fast.total_cycles() < baseline.run().total_cycles());
 //! ```
 //!
 //! A *temporal* run propagates real spikes across `T` timesteps with
@@ -59,8 +78,8 @@
 //!
 //! ```
 //! use spikestream::{
-//!     Engine, FpFormat, InferenceConfig, KernelVariant, NetworkChoice, TemporalEncoding,
-//!     TimingModel,
+//!     Engine, FpFormat, InferenceConfig, KernelVariant, NetworkChoice, Request,
+//!     TemporalEncoding, TimingModel,
 //! };
 //!
 //! let (network, profile) = NetworkChoice::TinyCnn.build(7);
@@ -71,23 +90,28 @@
 //!     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
 //! }
 //! .temporal(3, TemporalEncoding::Rate);
-//! let report = engine.run(&config);
+//! let report = engine.compile(&config).open_session().infer(&Request::batch(1));
 //! assert_eq!(report.timesteps.as_ref().unwrap().len(), 3);
 //! ```
 
 pub mod backend;
 pub mod engine;
 pub mod experiments;
+pub mod plan;
 pub mod report;
 pub mod scenario;
+pub mod session;
 pub mod sharding;
 
 pub use backend::{
-    AnalyticBackend, CycleLevelBackend, ExecutionBackend, LayerSample, SampleContext,
+    backend_for, AnalyticBackend, CycleLevelBackend, ExecutionBackend, LayerSample, SampleContext,
+    WorkerArena,
 };
 pub use engine::{Engine, InferenceConfig, TimingModel};
+pub use plan::{CompileError, Compiler, Plan};
 pub use report::{InferenceReport, LayerReport, ShardSummary, ShardUtilization, TimestepReport};
 pub use scenario::{NetworkChoice, Scenario, ScenarioError};
+pub use session::{FnSink, Request, ResultSink, Session};
 pub use sharding::{BatchScheduler, ShardedBatch};
 
 // Re-export the vocabulary types users need to drive the engine.

@@ -1,9 +1,23 @@
 //! Inference reports: per-layer and end-to-end statistics.
+//!
+//! Since the serving redesign the monolithic [`InferenceReport`] is a
+//! *fold* over the per-sample result stream a
+//! [`Session`](crate::Session) emits: the crate-internal
+//! `InferenceReport::fold_batch` collapses the flat sample-major
+//! measurement buffer into batch-averaged
+//! layer (and, for temporal runs, per-timestep) statistics. Every
+//! execution path — streaming sinks, one-shot sessions, the deprecated
+//! `Engine::run*` wrappers — funnels through this one fold, which is what
+//! keeps their reports bit-identical.
 
 use serde::{Deserialize, Serialize};
 
 use snitch_arch::fp::FpFormat;
 use spikestream_kernels::KernelVariant;
+use spikestream_snn::Network;
+
+use crate::backend::LayerSample;
+use crate::engine::InferenceConfig;
 
 /// Statistics of one network layer, averaged over the evaluated batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -214,6 +228,187 @@ impl InferenceReport {
         self.shards = None;
         self
     }
+
+    /// Fold a batch of per-sample measurements into the averaged report.
+    /// `flat` holds sample-major measurements; within one sample the
+    /// layout is step-major (timestep `t`, layer `l` at
+    /// `t * layer_count + l` — one step for synthetic runs). This is the
+    /// layout shared by sequential sessions, the parallel worker fan-out
+    /// and the sharded scheduler, so the fold is independent of how the
+    /// stream was produced.
+    ///
+    /// Synthetic runs take the historical path untouched, so their reports
+    /// stay bit-identical. Temporal runs first fold each sample's `T x L`
+    /// block into per-layer totals (cycles/energy/spikes/synops summed
+    /// over steps, rates and footprints averaged, utilization/IPC
+    /// cycle-weighted) and additionally derive the per-timestep breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `flat` holds exactly one [`LayerSample`] per layer
+    /// per timestep per sample.
+    pub(crate) fn fold_batch(
+        network: &Network,
+        clock_hz: f64,
+        config: &InferenceConfig,
+        flat: &[LayerSample],
+        batch: usize,
+    ) -> InferenceReport {
+        let layer_count = network.len();
+        let timesteps = config.timesteps();
+        let stride = layer_count * timesteps;
+        assert_eq!(
+            flat.len(),
+            batch * stride,
+            "backend must return exactly one LayerSample per layer per timestep per sample"
+        );
+
+        let (per_layer, timestep_reports): (std::borrow::Cow<'_, [LayerSample]>, _) =
+            if config.mode.is_temporal() {
+                let folded = fold_temporal_samples(flat, batch, timesteps, layer_count);
+                let steps = summarize_timesteps(flat, batch, timesteps, layer_count);
+                (folded.into(), Some(steps))
+            } else {
+                // The synthetic path stays zero-copy: one step per sample
+                // means the flat buffer already is the per-layer view.
+                (flat.into(), None)
+            };
+
+        let layers = network
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(idx, layer)| {
+                // An empty batch (a manually built empty sample range)
+                // folds to all-zero rows rather than slicing out of range.
+                let samples: Vec<LayerSample> = per_layer
+                    .get(idx..)
+                    .unwrap_or(&[])
+                    .iter()
+                    .step_by(layer_count)
+                    .copied()
+                    .collect();
+                summarize_layer(layer.name.clone(), clock_hz, &samples)
+            })
+            .collect();
+
+        InferenceReport {
+            network: network.name.clone(),
+            variant: config.variant,
+            format: config.format,
+            batch,
+            layers,
+            timesteps: timestep_reports,
+            shards: None,
+        }
+    }
+}
+
+/// Average one layer's per-sample measurements into its report row.
+fn summarize_layer(name: String, clock_hz: f64, samples: &[LayerSample]) -> LayerReport {
+    let n = samples.len().max(1) as f64;
+    let mean = |f: fn(&LayerSample) -> f64| samples.iter().map(f).sum::<f64>() / n;
+    let cycles_mean = mean(|s| s.cycles);
+    let cycles_var = samples.iter().map(|s| (s.cycles - cycles_mean).powi(2)).sum::<f64>() / n;
+    let seconds = cycles_mean / clock_hz;
+    let energy = mean(|s| s.energy_j);
+    LayerReport {
+        name,
+        cycles: cycles_mean,
+        cycles_std: cycles_var.sqrt(),
+        seconds,
+        fpu_utilization: mean(|s| s.fpu_utilization),
+        ipc: mean(|s| s.ipc),
+        input_firing_rate: mean(|s| s.input_firing_rate),
+        input_spikes: mean(|s| s.input_spikes),
+        synops: mean(|s| s.synops),
+        energy_j: energy,
+        power_w: if seconds > 0.0 { energy / seconds } else { 0.0 },
+        csr_footprint_bytes: mean(|s| s.csr_footprint_bytes),
+        aer_footprint_bytes: mean(|s| s.aer_footprint_bytes),
+    }
+}
+
+/// Fold each sample's `T x L` temporal block into one [`LayerSample`] per
+/// layer: extensive quantities (cycles, energy, spikes, synops, DMA) sum
+/// over the steps, rates and footprints average, and utilization/IPC are
+/// cycle-weighted means — so a layer's folded sample describes the whole
+/// T-step inference of that sample.
+fn fold_temporal_samples(
+    flat: &[LayerSample],
+    batch: usize,
+    timesteps: usize,
+    layer_count: usize,
+) -> Vec<LayerSample> {
+    let stride = timesteps * layer_count;
+    let mut folded = Vec::with_capacity(batch * layer_count);
+    for sample in 0..batch {
+        for layer in 0..layer_count {
+            let mut acc = LayerSample::default();
+            for step in 0..timesteps {
+                let s = &flat[sample * stride + step * layer_count + layer];
+                acc.cycles += s.cycles;
+                acc.energy_j += s.energy_j;
+                acc.input_spikes += s.input_spikes;
+                acc.synops += s.synops;
+                acc.dma_bytes += s.dma_bytes;
+                acc.fpu_utilization += s.fpu_utilization * s.cycles;
+                acc.ipc += s.ipc * s.cycles;
+                acc.input_firing_rate += s.input_firing_rate;
+                acc.csr_footprint_bytes += s.csr_footprint_bytes;
+                acc.aer_footprint_bytes += s.aer_footprint_bytes;
+            }
+            let t = timesteps as f64;
+            if acc.cycles > 0.0 {
+                acc.fpu_utilization /= acc.cycles;
+                acc.ipc /= acc.cycles;
+            }
+            acc.input_firing_rate /= t;
+            acc.csr_footprint_bytes /= t;
+            acc.aer_footprint_bytes /= t;
+            folded.push(acc);
+        }
+    }
+    folded
+}
+
+/// Batch-averaged per-timestep breakdown of a temporal run: for every step,
+/// the total cycles and DMA bytes of that step plus the per-layer input
+/// firing rates — the emergent sparsity trajectory Fig. 3a only shows in
+/// steady state.
+fn summarize_timesteps(
+    flat: &[LayerSample],
+    batch: usize,
+    timesteps: usize,
+    layer_count: usize,
+) -> Vec<TimestepReport> {
+    let stride = timesteps * layer_count;
+    let n = batch.max(1) as f64;
+    (0..timesteps)
+        .map(|step| {
+            let mut cycles = 0.0;
+            let mut dma_bytes = 0.0;
+            let mut energy_j = 0.0;
+            let mut firing_rates = vec![0.0f64; layer_count];
+            for sample in 0..batch {
+                for layer in 0..layer_count {
+                    let s = &flat[sample * stride + step * layer_count + layer];
+                    cycles += s.cycles;
+                    dma_bytes += s.dma_bytes;
+                    energy_j += s.energy_j;
+                    firing_rates[layer] += s.input_firing_rate;
+                }
+            }
+            firing_rates.iter_mut().for_each(|r| *r /= n);
+            TimestepReport {
+                step,
+                cycles: cycles / n,
+                dma_bytes: dma_bytes / n,
+                energy_j: energy_j / n,
+                firing_rates,
+            }
+        })
+        .collect()
 }
 
 impl TimestepReport {

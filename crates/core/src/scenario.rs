@@ -41,7 +41,7 @@
 //! )
 //! .unwrap();
 //! assert_eq!(scenario.name, "quick");
-//! let report = scenario.run();
+//! let report = scenario.compile().unwrap().open_session().infer(&scenario.request());
 //! assert_eq!(report.batch, 4);
 //! assert_eq!(report.shards.as_ref().unwrap().shards.len(), 2);
 //! ```
@@ -55,9 +55,10 @@ use spikestream_snn::{
     WorkloadMode,
 };
 
-use crate::backend::for_timing;
 use crate::engine::{Engine, InferenceConfig, TimingModel};
+use crate::plan::{Compiler, Plan};
 use crate::report::InferenceReport;
+use crate::session::Request;
 
 /// The networks a scenario can name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -368,17 +369,54 @@ impl Scenario {
         Engine::new(network, profile)
     }
 
+    /// The [`Compiler`] for this scenario — the same construction path the
+    /// engine and the CLI use, so no caller assembles backends by hand.
+    pub fn compiler(&self) -> Compiler {
+        self.engine().compiler()
+    }
+
+    /// Compile the scenario into a servable [`Plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the configuration fails plan
+    /// compilation (e.g. a zero batch).
+    pub fn compile(&self) -> Result<Plan, ScenarioError> {
+        self.compiler().compile(self.config).map_err(|e| err(0, e.to_string()))
+    }
+
+    /// The full-batch serving request this scenario describes, fleet
+    /// attribution included.
+    pub fn request(&self) -> Request {
+        Request::batch(self.config.batch).with_shards(self.shards)
+    }
+
     /// Run the scenario through the sharded batch driver and return the
     /// report (with fleet statistics).
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile once and serve: `scenario.compile()?.open_session().infer(&scenario.request())`"
+    )]
     pub fn run(&self) -> InferenceReport {
-        self.engine().run_sharded(for_timing(self.config.timing), &self.config, self.shards)
+        // Historical tolerance: a zero batch ran as one sample.
+        let mut legacy = self.clone();
+        legacy.config.batch = legacy.config.batch.max(1);
+        let plan = legacy.compile().expect("scenario must compile");
+        plan.open_session().infer(&legacy.request())
     }
 
     /// Run the scenario through the single-threaded reference path (no
     /// fleet statistics); bit-identical in all aggregate fields to
     /// [`Scenario::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "serve a sequential request: `session.infer(&Request::batch(n).sequential())`"
+    )]
     pub fn run_sequential(&self) -> InferenceReport {
-        self.engine().run_sequential(for_timing(self.config.timing), &self.config)
+        let mut legacy = self.clone();
+        legacy.config.batch = legacy.config.batch.max(1);
+        let plan = legacy.compile().expect("scenario must compile");
+        plan.open_session().infer(&Request::batch(legacy.config.batch).sequential())
     }
 }
 
@@ -525,10 +563,13 @@ shards  = 4
              batch = 3\nshards = 2\ntimesteps = 2\nencoding = \"rate\"\n",
         )
         .unwrap();
-        let report = s.run();
+        let plan = s.compile().unwrap();
+        let mut session = plan.open_session();
+        let report = session.infer(&s.request());
         assert_eq!(report.timesteps.as_ref().unwrap().len(), 2);
         assert_eq!(report.shards.as_ref().unwrap().shards.len(), 2);
-        assert_eq!(report.without_shard_stats(), s.run_sequential());
+        let sequential = session.infer(&Request::batch(s.config.batch).sequential());
+        assert_eq!(report.without_shard_stats(), sequential);
     }
 
     #[test]
@@ -552,8 +593,10 @@ shards  = 4
             "[scenario]\nname = \"eq\"\nnetwork = \"tiny-cnn\"\nbatch = 6\nshards = 3\n",
         )
         .unwrap();
-        let sharded = s.run();
-        let sequential = s.run_sequential();
+        let plan = s.compile().unwrap();
+        let mut session = plan.open_session();
+        let sharded = session.infer(&s.request());
+        let sequential = session.infer(&Request::batch(s.config.batch).sequential());
         assert_eq!(sharded.shards.as_ref().unwrap().shards.len(), 3);
         assert_eq!(sharded.without_shard_stats(), sequential);
     }

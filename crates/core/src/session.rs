@@ -1,0 +1,432 @@
+//! Long-lived serving sessions: [`Session`], [`Request`], [`ResultSink`].
+//!
+//! A [`Session`] is the per-process serving handle of a compiled
+//! [`Plan`]. It owns what a *running* service owns — one
+//! [`WorkerArena`] per worker slot (the per-sample staging buffers, the
+//! kernels' compressed-input scratch and the persistent membrane state of
+//! temporal samples) plus the reusable batch bookkeeping — and serves
+//! [`Request`]s against the plan's immutable, shared program cache.
+//!
+//! Results *stream*: every completed sample is handed to a caller-supplied
+//! [`ResultSink`] as soon as its worker finishes it, instead of
+//! materializing one monolithic report. [`InferenceReport`] is literally a
+//! fold over that stream — [`Session::infer`] plugs in the folding sink
+//! and returns the same bit-identical report the legacy `Engine::run*`
+//! entry points produced (they are thin wrappers over exactly this path).
+//!
+//! Determinism: samples are seeded independently and land in their own
+//! slot of the fold, so the report is independent of worker scheduling.
+//! The *callback order* of a parallel session is not deterministic;
+//! order-sensitive sinks should serve sequential requests
+//! ([`Request::sequential`]).
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use snitch_sim::ShardSet;
+
+use crate::backend::{ExecutionBackend, LayerSample, WorkerArena};
+use crate::plan::Plan;
+use crate::report::{InferenceReport, ShardSummary};
+use crate::sharding::{fleet_summary, DISPATCH_CYCLES};
+
+/// One serving request: which batch samples to evaluate and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Sample indices to evaluate (each is an independently seeded batch
+    /// sample of the plan's workload).
+    pub samples: Range<usize>,
+    /// Temporal-pipeline override: run each sample for this many timesteps
+    /// instead of the compiled config's count. On a synthetic plan this
+    /// switches the request to direct-coded temporal inference, mirroring
+    /// the CLI's `--timesteps` flag.
+    pub timesteps: Option<usize>,
+    /// Attribute the request to a fleet of N simulated cluster shards and
+    /// deliver the [`ShardSummary`] through [`ResultSink::on_fleet`].
+    pub shards: Option<usize>,
+    /// Host worker override: `Some(1)` serves the request strictly
+    /// sequentially on the calling thread (deterministic callback order);
+    /// `None` uses the session default.
+    pub workers: Option<usize>,
+}
+
+impl Request {
+    /// The full-batch request over samples `0..batch` (at least one).
+    pub fn batch(batch: usize) -> Self {
+        Request { samples: 0..batch.max(1), timesteps: None, shards: None, workers: None }
+    }
+
+    /// A request over an explicit sample range.
+    pub fn samples(samples: Range<usize>) -> Self {
+        let samples = if samples.is_empty() { samples.start..samples.start + 1 } else { samples };
+        Request { samples, timesteps: None, shards: None, workers: None }
+    }
+
+    /// Attribute the request to `shards` simulated cluster shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Override the temporal timestep count.
+    pub fn with_timesteps(mut self, timesteps: usize) -> Self {
+        self.timesteps = Some(timesteps.max(1));
+        self
+    }
+
+    /// Serve strictly sequentially on the calling thread.
+    pub fn sequential(mut self) -> Self {
+        self.workers = Some(1);
+        self
+    }
+
+    /// Override the host worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Number of samples this request evaluates.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the request is empty (never: constructors clamp to one).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// A streaming consumer of session results.
+///
+/// Sinks receive each sample's measurements as soon as a worker completes
+/// them. Implementations must tolerate arbitrary arrival order for
+/// parallel requests (each callback carries its sample index); sequential
+/// requests call back in ascending sample order.
+pub trait ResultSink: Send {
+    /// One completed batch sample: `layers` holds one [`LayerSample`] per
+    /// network layer per timestep, step-major — exactly the layout of
+    /// [`ExecutionBackend::run_sample`].
+    fn on_sample(&mut self, sample: usize, layers: &[LayerSample]);
+
+    /// Fleet statistics of a sharded request, delivered once after the
+    /// last sample. Not called for unsharded requests.
+    fn on_fleet(&mut self, _summary: &ShardSummary) {}
+}
+
+/// A [`ResultSink`] adapter over a closure (sample index + samples).
+pub struct FnSink<F: FnMut(usize, &[LayerSample]) + Send>(pub F);
+
+impl<F: FnMut(usize, &[LayerSample]) + Send> ResultSink for FnSink<F> {
+    fn on_sample(&mut self, sample: usize, layers: &[LayerSample]) {
+        (self.0)(sample, layers)
+    }
+}
+
+/// The folding sink behind [`Session::infer`]: collects every sample into
+/// its slot of one flat buffer (so the fold is independent of arrival
+/// order) and folds the buffer into an [`InferenceReport`] — the legacy
+/// monolithic report is this fold, nothing more.
+struct ReportSink<'a> {
+    first: usize,
+    units: usize,
+    flat: &'a mut Vec<LayerSample>,
+    fleet: Option<ShardSummary>,
+}
+
+impl ResultSink for ReportSink<'_> {
+    fn on_sample(&mut self, sample: usize, layers: &[LayerSample]) {
+        let at = (sample - self.first) * self.units;
+        debug_assert_eq!(layers.len(), self.units, "one LayerSample per layer per timestep");
+        self.flat[at..at + self.units].copy_from_slice(layers);
+    }
+
+    fn on_fleet(&mut self, summary: &ShardSummary) {
+        self.fleet = Some(summary.clone());
+    }
+}
+
+/// A long-lived serving session over a compiled [`Plan`].
+///
+/// # Example
+///
+/// ```
+/// use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, Request};
+///
+/// let engine = Engine::svgg11(1);
+/// let plan = engine.compile(&InferenceConfig {
+///     batch: 8,
+///     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+/// });
+/// let mut session = plan.open_session();
+/// // Serve the same plan request after request — lowering happened once,
+/// // at compile time, and the session's arenas are reused throughout.
+/// let a = session.infer(&Request::batch(8));
+/// let b = session.infer(&Request::batch(8).with_shards(4));
+/// assert_eq!(a.to_json(), b.clone().without_shard_stats().to_json());
+/// assert_eq!(b.shards.unwrap().shards.len(), 4);
+/// ```
+pub struct Session<'p> {
+    plan: &'p Plan,
+    arenas: Vec<WorkerArena>,
+    workers: usize,
+    chunk: usize,
+    flat: Vec<LayerSample>,
+    cycles: Vec<f64>,
+}
+
+impl<'p> Session<'p> {
+    pub(crate) fn new(plan: &'p Plan) -> Self {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Session {
+            plan,
+            arenas: Vec::new(),
+            workers: host,
+            chunk: 4,
+            flat: Vec::new(),
+            cycles: Vec::new(),
+        }
+    }
+
+    /// The plan this session serves.
+    pub fn plan(&self) -> &'p Plan {
+        self.plan
+    }
+
+    /// Override the default host worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the number of samples per stolen chunk (clamped to at
+    /// least 1).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Total samples evaluated and arena-buffer growth events across this
+    /// session's worker arenas — the observable "no allocation on the
+    /// serving steady state" counters.
+    pub fn arena_stats(&self) -> (u64, u64) {
+        self.arenas.iter().fold((0, 0), |(r, g), a| (r + a.runs(), g + a.grows()))
+    }
+
+    /// Serve `request`, streaming every completed sample into `sink`.
+    pub fn run(&mut self, request: &Request, sink: &mut dyn ResultSink) {
+        self.run_with_backend(self.plan.backend(), request, sink)
+    }
+
+    /// Serve `request` and fold the stream into an [`InferenceReport`].
+    pub fn infer(&mut self, request: &Request) -> InferenceReport {
+        self.infer_with_backend(self.plan.backend(), request)
+    }
+
+    /// [`Session::run`] with an explicit, caller-borrowed backend — the
+    /// serving path for third-party backends that are not bound into the
+    /// plan (see [`Compiler::with_backend`](crate::Compiler::with_backend)
+    /// for the owned alternative).
+    pub fn run_with_backend(
+        &mut self,
+        backend: &dyn ExecutionBackend,
+        request: &Request,
+        sink: &mut dyn ResultSink,
+    ) {
+        let config = self.plan.effective_config(request);
+        let batch = request.samples.len();
+        let first = request.samples.start;
+
+        self.cycles.clear();
+        self.cycles.resize(batch, 0.0);
+        // Never spawn more workers than there are chunks to steal — extra
+        // threads would start, claim nothing and exit, paying churn on the
+        // request hot path for no parallelism.
+        let chunks = batch.div_ceil(self.chunk);
+        let workers = request.workers.unwrap_or(self.workers).clamp(1, chunks.max(1));
+        if self.arenas.len() < workers {
+            self.arenas.resize_with(workers, WorkerArena::new);
+        }
+
+        let ctx = self.plan.context(&config);
+        if workers == 1 {
+            // Strictly sequential: ascending sample order on this thread.
+            let arena = &mut self.arenas[0];
+            for (i, sample) in request.samples.clone().enumerate() {
+                let layers = arena.run_sample(backend, &ctx, sample);
+                self.cycles[i] = layers.iter().map(|l| l.cycles).sum();
+                sink.on_sample(sample, layers);
+            }
+        } else {
+            // The shared chunk-stealing host executor (also behind the
+            // legacy `BatchScheduler`); results stream through one
+            // serialized sink handle as they complete. Delivery is a
+            // per-sample critical section — a small copy for the folding
+            // sink, cheap next to evaluating the sample; sinks needing
+            // lock-free delivery at scale can drive `BatchScheduler`'s
+            // disjoint-window scheme instead.
+            let shared = Mutex::new((&mut *sink, self.cycles.as_mut_slice()));
+            let chunk = self.chunk;
+            crate::sharding::steal_chunks(chunks, &mut self.arenas[..workers], |arena, w| {
+                let start = w * chunk;
+                let end = (start + chunk).min(batch);
+                for i in start..end {
+                    let sample = first + i;
+                    let layers = arena.run_sample(backend, &ctx, sample);
+                    let cycles: f64 = layers.iter().map(|l| l.cycles).sum();
+                    let mut guard = shared.lock().expect("result sink poisoned");
+                    let (sink, cycle_slots) = &mut *guard;
+                    cycle_slots[i] = cycles;
+                    sink.on_sample(sample, layers);
+                }
+            });
+        }
+
+        // Deterministic fleet attribution in simulated time: a pure
+        // function of the per-sample cycle totals, identical no matter how
+        // the host threads raced (and identical to the legacy
+        // `run_sharded` batch scheduler).
+        if let Some(shards) = request.shards {
+            let mut set = ShardSet::new(shards.max(1)).with_dispatch_cycles(DISPATCH_CYCLES);
+            for &cycles in &self.cycles {
+                set.assign(cycles);
+            }
+            sink.on_fleet(&fleet_summary(&set));
+        }
+    }
+
+    /// [`Session::infer`] with an explicit backend.
+    pub fn infer_with_backend(
+        &mut self,
+        backend: &dyn ExecutionBackend,
+        request: &Request,
+    ) -> InferenceReport {
+        let config = self.plan.effective_config(request);
+        let units = self.plan.network().len() * config.timesteps();
+        let batch = request.samples.len();
+
+        let mut flat = std::mem::take(&mut self.flat);
+        flat.clear();
+        flat.resize(batch * units, LayerSample::default());
+        let mut sink =
+            ReportSink { first: request.samples.start, units, flat: &mut flat, fleet: None };
+        self.run_with_backend(backend, request, &mut sink);
+
+        let fleet = sink.fleet.take();
+        let mut report = InferenceReport::fold_batch(
+            self.plan.network(),
+            self.plan.clock_hz(),
+            &config,
+            &flat,
+            batch,
+        );
+        report.shards = fleet;
+        self.flat = flat;
+        report
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (runs, grows) = self.arena_stats();
+        f.debug_struct("Session")
+            .field("plan", &self.plan.network().name)
+            .field("workers", &self.workers)
+            .field("arena_runs", &runs)
+            .field("arena_grows", &grows)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, FpFormat, InferenceConfig, KernelVariant};
+
+    fn plan() -> crate::Plan {
+        Engine::svgg11(3).compile(&InferenceConfig {
+            batch: 12,
+            seed: 0xFEED,
+            ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+        })
+    }
+
+    #[test]
+    fn request_constructors_clamp_and_build() {
+        assert_eq!(Request::batch(0).samples, 0..1);
+        assert_eq!(Request::samples(5..5).samples, 5..6);
+        let r = Request::batch(8).with_shards(0).with_timesteps(0).sequential();
+        assert_eq!((r.shards, r.timesteps, r.workers), (Some(1), Some(1), Some(1)));
+        assert_eq!(r.len(), 8);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn a_manually_built_empty_request_folds_to_a_zero_report() {
+        // The constructors clamp to one sample, but `Request` fields are
+        // public; an empty range must fold gracefully, not panic.
+        let plan = plan();
+        let empty = Request { samples: 3..3, timesteps: None, shards: None, workers: None };
+        assert!(empty.is_empty());
+        let report = plan.open_session().infer(&empty);
+        assert_eq!(report.batch, 0);
+        assert_eq!(report.layers.len(), 8);
+        assert_eq!(report.total_cycles(), 0.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_requests_fold_identically() {
+        let plan = plan();
+        let mut session = plan.open_session();
+        let parallel = session.infer(&Request::batch(12));
+        let sequential = session.infer(&Request::batch(12).sequential());
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.to_json(), sequential.to_json());
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_sample_exactly_once() {
+        let plan = plan();
+        let mut session = plan.open_session();
+        let seen = std::sync::Mutex::new(vec![0u32; 12]);
+        let mut sink = FnSink(|sample: usize, layers: &[LayerSample]| {
+            assert_eq!(layers.len(), 8);
+            seen.lock().unwrap()[sample] += 1;
+        });
+        session.run(&Request::batch(12), &mut sink);
+        assert!(seen.lock().unwrap().iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn sample_subranges_serve_the_same_measurements_as_full_batches() {
+        let plan = plan();
+        let mut session = plan.open_session();
+        let full = session.infer(&Request::batch(12));
+        // Samples are independently seeded, so serving sample 4..8 alone
+        // reproduces those samples' measurements exactly.
+        let sub = std::sync::Mutex::new(Vec::new());
+        let mut sink = FnSink(|sample: usize, layers: &[LayerSample]| {
+            sub.lock().unwrap().push((sample, layers.to_vec()));
+        });
+        session.run(&Request::samples(4..8).sequential(), &mut sink);
+        let sub = sub.into_inner().unwrap();
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub[0].0, 4);
+        assert!(full.total_cycles() > 0.0);
+    }
+
+    #[test]
+    fn arena_counters_reach_steady_state_after_the_first_request() {
+        let plan = plan();
+        let mut session = plan.open_session();
+        session.infer(&Request::batch(12));
+        let (runs_warm, grows_warm) = session.arena_stats();
+        assert_eq!(runs_warm, 12);
+        for _ in 0..3 {
+            session.infer(&Request::batch(12));
+        }
+        let (runs, grows) = session.arena_stats();
+        assert_eq!(runs, 48);
+        assert_eq!(grows, grows_warm, "steady-state requests grow no arena buffer");
+    }
+}

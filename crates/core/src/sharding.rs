@@ -122,37 +122,24 @@ impl BatchScheduler {
 
         {
             // Pre-split the buffer into chunk-sized windows the workers
-            // claim through an atomic cursor. Each Mutex is locked exactly
-            // once, by the claiming worker; it only exists to hand the
-            // `&mut` window across the thread boundary safely.
+            // claim through the shared steal loop. Each Mutex is locked
+            // exactly once, by the claiming worker; it only exists to hand
+            // the `&mut` window across the thread boundary safely.
             let windows: Vec<Mutex<&mut [LayerSample]>> =
                 flat.chunks_mut(self.chunk * layers).map(Mutex::new).collect();
-            let cursor = AtomicUsize::new(0);
             let workers = self.workers.min(windows.len()).max(1);
+            // Per-worker scratch, reused for every sample a worker steals.
+            let mut scratch: Vec<Vec<LayerSample>> =
+                (0..workers).map(|_| Vec::with_capacity(layers)).collect();
 
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        // Per-worker scratch arena, reused for every sample
-                        // this worker steals.
-                        let mut scratch: Vec<LayerSample> = Vec::with_capacity(layers);
-                        loop {
-                            let w = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(window) = windows.get(w) else { break };
-                            let mut window = window.lock().expect("window mutex poisoned");
-                            let first = w * self.chunk;
-                            for (i, slot) in window.chunks_mut(layers).enumerate() {
-                                scratch.clear();
-                                backend.run_sample_into(ctx, first + i, &mut scratch);
-                                debug_assert_eq!(
-                                    scratch.len(),
-                                    layers,
-                                    "one sample per layer per timestep"
-                                );
-                                slot.copy_from_slice(&scratch);
-                            }
-                        }
-                    });
+            steal_chunks(windows.len(), &mut scratch, |scratch, w| {
+                let mut window = windows[w].lock().expect("window mutex poisoned");
+                let first = w * self.chunk;
+                for (i, slot) in window.chunks_mut(layers).enumerate() {
+                    scratch.clear();
+                    backend.run_sample_into(ctx, first + i, scratch);
+                    debug_assert_eq!(scratch.len(), layers, "one sample per layer per timestep");
+                    slot.copy_from_slice(scratch);
                 }
             });
         }
@@ -213,22 +200,57 @@ impl ShardedBatch {
 
     /// Fleet statistics for the report.
     pub fn summary(&self) -> ShardSummary {
-        ShardSummary {
-            shards: self
-                .set
-                .shards()
-                .iter()
-                .map(|s| ShardUtilization {
-                    shard: s.id(),
-                    samples: s.samples(),
-                    busy_cycles: s.busy_cycles(),
-                    utilization: self.set.utilization(s.id()),
-                })
-                .collect(),
-            makespan_cycles: self.set.makespan_cycles(),
-            imbalance: self.set.imbalance(),
-            batch_speedup: self.set.batch_speedup(),
+        fleet_summary(&self.set)
+    }
+}
+
+/// The chunk-stealing host executor shared by the legacy
+/// [`BatchScheduler`] and the serving [`Session`](crate::Session): one
+/// worker thread per entry of `states`, each claiming chunk indices
+/// `0..chunks` from a shared atomic cursor and running `work(state,
+/// chunk)` for every claim. Keeping this loop in one place means stealing
+/// granularity and worker clamping can never diverge between the two
+/// batch drivers.
+pub(crate) fn steal_chunks<S: Send>(
+    chunks: usize,
+    states: &mut [S],
+    work: impl Fn(&mut S, usize) + Sync,
+) {
+    let cursor = AtomicUsize::new(0);
+    let work = &work;
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
+        for state in states.iter_mut() {
+            scope.spawn(move || loop {
+                let w = cursor.fetch_add(1, Ordering::Relaxed);
+                if w >= chunks {
+                    break;
+                }
+                work(state, w);
+            });
         }
+    });
+}
+
+/// Fleet statistics of a populated [`ShardSet`] — the one construction
+/// shared by the legacy [`BatchScheduler`] and the serving
+/// [`Session`](crate::Session), so sharded reports agree bit for bit no
+/// matter which path attributed the samples.
+pub(crate) fn fleet_summary(set: &ShardSet) -> ShardSummary {
+    ShardSummary {
+        shards: set
+            .shards()
+            .iter()
+            .map(|s| ShardUtilization {
+                shard: s.id(),
+                samples: s.samples(),
+                busy_cycles: s.busy_cycles(),
+                utilization: set.utilization(s.id()),
+            })
+            .collect(),
+        makespan_cycles: set.makespan_cycles(),
+        imbalance: set.imbalance(),
+        batch_speedup: set.batch_speedup(),
     }
 }
 

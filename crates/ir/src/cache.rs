@@ -1,0 +1,397 @@
+//! The plan-owned symbolic program cache.
+//!
+//! Ahead-of-time compilation (`spikestream::Engine::compile`) lowers every
+//! layer of a network into its symbolic [`StreamProgram`] once; the
+//! per-sample serving hot path then only *looks programs up* instead of
+//! re-emitting and re-integrating them. This module is the shared cache
+//! behind that split:
+//!
+//! * a [`ProgramKey`] identifies one binding of one layer — kernel class,
+//!   storage format and the [`SparsityBucket`] of realized firing rates;
+//! * a [`CachedProgram`] carries the bound program together with its
+//!   integrated [`ProgramCost`], so a cache hit skips both the emitter and
+//!   the [`CostIntegrator`](crate::CostIntegrator);
+//! * a [`StructuralKey`] names the *discrete* part of a binding (tile-plan
+//!   footprint, activation-tail rate, zero-input degeneracy). Two buckets
+//!   that share a structural key differ only in their `Expected`-count
+//!   gather streams, so a miss can be served by
+//!   [`StreamProgram::rebind_expected`](crate::StreamProgram::rebind_expected)
+//!   from an already-cached sibling instead of a fresh emission — the
+//!   emitters (in `spikestream-kernels`) decide when that substitution is
+//!   exact and drive [`ProgramCache::bind_with`] accordingly.
+//!
+//! The cache is internally synchronized (`RwLock` + atomic counters), so a
+//! `Plan` can share one instance across all the worker threads of its
+//! sessions: lookups take a read lock, and only the cold bind path writes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use snitch_arch::fp::FpFormat;
+
+use crate::cost::ProgramCost;
+use crate::program::StreamProgram;
+
+/// The realized sparsity of one symbolic layer binding: the exact bit
+/// patterns of the clamped input and output firing rates.
+///
+/// Buckets are keyed at full `f64` resolution — the cache must serve
+/// bit-identical programs, so two bindings share a bucket exactly when
+/// their realized rates are equal. Coarser bucketing would trade report
+/// fidelity for hit rate; the serving steady state (repeated requests over
+/// a fixed sample population) hits at full resolution already.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SparsityBucket {
+    input_bits: u64,
+    output_bits: u64,
+}
+
+impl SparsityBucket {
+    /// The bucket of a `(input, output)` firing-rate pair. Rates are
+    /// clamped to `0.0..=1.0` first, exactly like the emitters clamp them.
+    pub fn of(input_rate: f64, output_rate: f64) -> Self {
+        SparsityBucket {
+            input_bits: input_rate.clamp(0.0, 1.0).to_bits(),
+            output_bits: output_rate.clamp(0.0, 1.0).to_bits(),
+        }
+    }
+
+    /// The clamped input firing rate this bucket stands for.
+    pub fn input_rate(&self) -> f64 {
+        f64::from_bits(self.input_bits)
+    }
+
+    /// The clamped output firing rate this bucket stands for.
+    pub fn output_rate(&self) -> f64 {
+        f64::from_bits(self.output_bits)
+    }
+}
+
+/// Cache key of one bound program: which layer, which kernel class (the
+/// emitting crate's variant discriminator), which storage format, which
+/// sparsity bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    /// Layer index within the network.
+    pub layer: u32,
+    /// Kernel-class discriminator assigned by the emitter crate (e.g. the
+    /// code variant); this crate only requires it to be stable.
+    pub class: u32,
+    /// Storage format of the lowering.
+    pub format: FpFormat,
+    /// Realized sparsity of the binding.
+    pub bucket: SparsityBucket,
+}
+
+/// The discrete part of a binding: everything that selects the program
+/// *shape* — tile plan and DMA phases (via the planner `footprint`), the
+/// activation tail (via the output-rate bits) and the zero-input
+/// degeneracy (emitters omit the gather entirely for silent inputs).
+/// Bindings that agree on a `StructuralKey` differ only in their
+/// `Expected` gather counts and are therefore re-bindable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructuralKey {
+    /// Layer index within the network.
+    pub layer: u32,
+    /// Kernel-class discriminator (as in [`ProgramKey::class`]).
+    pub class: u32,
+    /// Storage format of the lowering.
+    pub format: FpFormat,
+    /// The discretized input count the emitter feeds its tiling planner
+    /// (expected spikes for conv, active inputs for FC, 0 when the plan is
+    /// input-independent).
+    pub footprint: u64,
+    /// Bit pattern of the clamped output rate (the activation tail).
+    pub output_bits: u64,
+    /// Whether the input side is exactly silent (rate 0.0).
+    pub input_silent: bool,
+}
+
+/// One cached binding: the bound symbolic program and its integrated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedProgram {
+    /// The bound stream program.
+    pub program: StreamProgram,
+    /// The program's integrated execution statistics.
+    pub cost: ProgramCost,
+}
+
+/// Monotonic cache statistics (since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups served from an exact bucket entry.
+    pub hits: u64,
+    /// Misses served by re-binding a structurally identical entry.
+    pub rebinds: u64,
+    /// Misses that ran a full emitter lowering.
+    pub emits: u64,
+}
+
+impl CacheCounters {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.rebinds + self.emits
+    }
+
+    /// Lookups that did not hit an exact entry.
+    pub fn misses(&self) -> u64 {
+        self.rebinds + self.emits
+    }
+}
+
+/// Thread-safe program cache owned by a compiled plan.
+///
+/// The cache is *bounded*: once [`ProgramCache::capacity`] entries are
+/// resident, further cold bindings are computed and returned without
+/// being inserted, so a plan serving an unbounded stream of fresh
+/// sparsity buckets (e.g. ever-new sample indices under a jittered
+/// profile) holds at most `capacity` programs — correctness is
+/// unaffected, only those bindings stay cold.
+#[derive(Debug)]
+pub struct ProgramCache {
+    bound: RwLock<HashMap<ProgramKey, Arc<CachedProgram>>>,
+    structural: RwLock<HashMap<StructuralKey, ProgramKey>>,
+    capacity: usize,
+    hits: AtomicU64,
+    rebinds: AtomicU64,
+    emits: AtomicU64,
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        Self::bounded(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl ProgramCache {
+    /// Default resident-program bound: generous for any realistic serving
+    /// population (64Ki bindings ≈ thousands of samples × layers) while
+    /// capping worst-case memory for ever-fresh request streams.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded to at most `capacity` resident programs
+    /// (clamped to at least 1).
+    pub fn bounded(capacity: usize) -> Self {
+        ProgramCache {
+            bound: RwLock::new(HashMap::new()),
+            structural: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            rebinds: AtomicU64::new(0),
+            emits: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of resident bound programs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of bound programs currently cached.
+    pub fn len(&self) -> usize {
+        self.bound.read().expect("program cache poisoned").len()
+    }
+
+    /// Whether the cache holds no bound programs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/rebind/emit counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            rebinds: self.rebinds.load(Ordering::Relaxed),
+            emits: self.emits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Peek at an exact entry without counting a lookup (used by tests and
+    /// ahead-of-time warm-up probes).
+    pub fn peek(&self, key: &ProgramKey) -> Option<Arc<CachedProgram>> {
+        self.bound.read().expect("program cache poisoned").get(key).cloned()
+    }
+
+    /// Insert a binding produced ahead of time (compile-time warm-up). Does
+    /// not touch the lookup counters; also registers the structural key as
+    /// a re-bind donor if it has none yet.
+    pub fn preload(&self, key: ProgramKey, structural: StructuralKey, entry: CachedProgram) {
+        let entry = Arc::new(entry);
+        self.bound.write().expect("program cache poisoned").insert(key, entry);
+        self.structural.write().expect("program cache poisoned").entry(structural).or_insert(key);
+    }
+
+    /// The serving lookup: return the exact entry for `key` if present;
+    /// otherwise, if a structurally identical sibling is cached and
+    /// `rebind` can substitute its `Expected` counts (returns `Some`),
+    /// cache and return the rebound program; otherwise run `emit`, cache
+    /// and return its result. Counts one hit, rebind or emit respectively.
+    pub fn bind_with(
+        &self,
+        key: ProgramKey,
+        structural: StructuralKey,
+        rebind: impl FnOnce(&CachedProgram) -> Option<CachedProgram>,
+        emit: impl FnOnce() -> CachedProgram,
+    ) -> Arc<CachedProgram> {
+        if let Some(entry) = self.bound.read().expect("program cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+
+        let donor = self
+            .structural
+            .read()
+            .expect("program cache poisoned")
+            .get(&structural)
+            .and_then(|rep| self.peek(rep));
+        let (entry, counter) = match donor.as_deref().and_then(rebind) {
+            Some(rebound) => (Arc::new(rebound), &self.rebinds),
+            None => (Arc::new(emit()), &self.emits),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+
+        let mut bound = self.bound.write().expect("program cache poisoned");
+        if bound.len() < self.capacity {
+            bound.insert(key, entry.clone());
+            drop(bound);
+            self.structural
+                .write()
+                .expect("program cache poisoned")
+                .entry(structural)
+                .or_insert(key);
+        }
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_arch::fp::FpFormat;
+
+    fn entry(label: &str) -> CachedProgram {
+        CachedProgram {
+            program: StreamProgram::new(label, FpFormat::Fp16),
+            cost: crate::CostIntegrator::snitch()
+                .integrate(&StreamProgram::new(label, FpFormat::Fp16)),
+        }
+    }
+
+    fn key(layer: u32, rate: f64) -> ProgramKey {
+        ProgramKey {
+            layer,
+            class: 1,
+            format: FpFormat::Fp16,
+            bucket: SparsityBucket::of(rate, 0.5),
+        }
+    }
+
+    fn structural(layer: u32, footprint: u64) -> StructuralKey {
+        StructuralKey {
+            layer,
+            class: 1,
+            format: FpFormat::Fp16,
+            footprint,
+            output_bits: 0.5f64.to_bits(),
+            input_silent: false,
+        }
+    }
+
+    #[test]
+    fn bucket_clamps_and_round_trips_rates() {
+        let b = SparsityBucket::of(1.5, -0.25);
+        assert_eq!(b.input_rate(), 1.0);
+        assert_eq!(b.output_rate(), 0.0);
+        assert_eq!(SparsityBucket::of(0.3, 0.7), SparsityBucket::of(0.3, 0.7));
+        assert_ne!(SparsityBucket::of(0.3, 0.7), SparsityBucket::of(0.3000001, 0.7));
+    }
+
+    #[test]
+    fn repeated_lookups_hit_after_the_first_emit() {
+        let cache = ProgramCache::new();
+        for _ in 0..3 {
+            cache.bind_with(key(0, 0.25), structural(0, 40), |_| None, || entry("a"));
+        }
+        let c = cache.counters();
+        assert_eq!((c.hits, c.rebinds, c.emits), (2, 0, 1));
+        assert_eq!(c.lookups(), 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn structural_siblings_are_served_by_rebinding() {
+        let cache = ProgramCache::new();
+        cache.bind_with(key(0, 0.25), structural(0, 40), |_| None, || entry("a"));
+        // Same structural key, different bucket: the donor is offered for
+        // re-binding and no emit runs.
+        cache.bind_with(
+            key(0, 0.26),
+            structural(0, 40),
+            |donor| Some(donor.clone()),
+            || panic!("must not emit"),
+        );
+        // Different structural key: no donor, the emitter runs.
+        cache.bind_with(key(0, 0.5), structural(0, 80), |_| panic!("no donor"), || entry("b"));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.rebinds, c.emits), (0, 1, 2));
+        assert_eq!(c.misses(), 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn a_full_cache_serves_cold_bindings_without_inserting() {
+        let cache = ProgramCache::bounded(2);
+        assert_eq!(cache.capacity(), 2);
+        for i in 0..5 {
+            cache.bind_with(key(i, 0.25), structural(i, 40), |_| None, || entry("x"));
+        }
+        assert_eq!(cache.len(), 2, "growth stops at the bound");
+        assert_eq!(cache.counters().emits, 5, "cold bindings still serve");
+        // Resident entries keep hitting.
+        cache.bind_with(key(0, 0.25), structural(0, 40), |_| None, || panic!("resident"));
+        assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn preload_warms_the_cache_without_counting_lookups() {
+        let cache = ProgramCache::new();
+        cache.preload(key(2, 0.1), structural(2, 8), entry("warm"));
+        assert_eq!(cache.counters().lookups(), 0);
+        assert!(!cache.is_empty());
+        cache.bind_with(key(2, 0.1), structural(2, 8), |_| None, || panic!("preloaded"));
+        assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProgramCache>();
+
+        let cache = std::sync::Arc::new(ProgramCache::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..16 {
+                        cache.bind_with(
+                            key(i % 4, 0.25),
+                            structural(i % 4, 40),
+                            |_| None,
+                            || entry("t"),
+                        );
+                    }
+                });
+            }
+        });
+        let c = cache.counters();
+        assert_eq!(c.lookups(), 64);
+        assert_eq!(cache.len(), 4);
+        assert!(c.hits >= 56, "at most one cold bind per key per racing thread");
+    }
+}

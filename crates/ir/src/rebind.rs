@@ -1,0 +1,159 @@
+//! Re-binding symbolic programs to a new realized sparsity.
+//!
+//! A symbolic [`StreamProgram`] separates cleanly into a *discrete* part —
+//! the tile plan, the DMA phases, the scratchpad base addresses and the op
+//! skeleton, all selected by integral quantities such as the planner's
+//! expected spike count — and a *continuous* part: the
+//! [`IndexStream::Expected`] element counts of its indirect gather streams,
+//! which are linear in the realized input firing rate. When two sparsity
+//! bindings share the discrete part, the second program need not be
+//! re-emitted: cloning the first and substituting the `Expected` counts
+//! yields, bit for bit, the program the emitter would have produced. That
+//! substitution is what [`StreamProgram::rebind_expected`] implements; the
+//! plan cache (see [`crate::cache`]) uses it to serve cross-bucket misses
+//! without re-running an emitter, and the kernels decide *when* it is
+//! exact (their emitters know which scalars feed the planner).
+
+use crate::program::{IndexStream, KernelOp, Phase, StreamProgram, StreamSpec};
+
+impl StreamProgram {
+    /// A copy of this program with every [`IndexStream::Expected`] element
+    /// count mapped through `f` (in program order, recursing into loop
+    /// bodies). Exact index vectors, affine streams, repetition counts, DMA
+    /// phases and code regions are preserved untouched.
+    pub fn rebind_expected(&self, mut f: impl FnMut(f64) -> f64) -> StreamProgram {
+        let mut out = self.clone();
+        for phase in &mut out.phases {
+            if let Phase::Compute(c) = phase {
+                for item in &mut c.items {
+                    for op in &mut item.ops {
+                        rebind_op(op, &mut f);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `Expected` element counts of the program's symbolic gather
+    /// streams, in program order (loop bodies included). Empty for exact
+    /// programs.
+    pub fn expected_counts(&self) -> Vec<f64> {
+        let mut counts = Vec::new();
+        for phase in &self.phases {
+            if let Phase::Compute(c) = phase {
+                for item in &c.items {
+                    for op in &item.ops {
+                        collect_expected(op, &mut counts);
+                    }
+                }
+            }
+        }
+        counts
+    }
+}
+
+fn rebind_op(op: &mut KernelOp, f: &mut impl FnMut(f64) -> f64) {
+    match op {
+        KernelOp::Stream { ssrs, .. } => {
+            for (_, spec) in ssrs {
+                if let StreamSpec::Indirect { indices: IndexStream::Expected(n), .. } = spec {
+                    *n = f(*n);
+                }
+            }
+        }
+        KernelOp::Loop { body, .. } => {
+            for inner in body {
+                rebind_op(inner, f);
+            }
+        }
+        KernelOp::Int { .. } | KernelOp::Fp { .. } | KernelOp::Barrier => {}
+    }
+}
+
+fn collect_expected(op: &KernelOp, counts: &mut Vec<f64>) {
+    match op {
+        KernelOp::Stream { ssrs, .. } => {
+            for (_, spec) in ssrs {
+                if let StreamSpec::Indirect { indices: IndexStream::Expected(n), .. } = spec {
+                    counts.push(*n);
+                }
+            }
+        }
+        KernelOp::Loop { body, .. } => {
+            for inner in body {
+                collect_expected(inner, counts);
+            }
+        }
+        KernelOp::Int { .. } | KernelOp::Fp { .. } | KernelOp::Barrier => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ComputePhase, DmaPhase, WorkItem};
+    use snitch_arch::fp::FpFormat;
+    use snitch_arch::isa::{FpOp, SsrId};
+    use snitch_mem::dma::DmaDirection;
+
+    fn symbolic_program(expected: f64) -> StreamProgram {
+        let mut p = StreamProgram::new("layer", FpFormat::Fp16);
+        p.push(Phase::Dma(DmaPhase::contiguous(DmaDirection::In, 256, false)));
+        let stream = KernelOp::Stream {
+            ssrs: vec![(
+                SsrId::Ssr0,
+                StreamSpec::Indirect {
+                    index_base: 0x40,
+                    index_bytes: 2,
+                    data_base: 0x100,
+                    elem_bytes: 8,
+                    indices: IndexStream::Expected(expected),
+                },
+            )],
+            op: FpOp::Add,
+        };
+        let looped = KernelOp::Loop { body: vec![KernelOp::alu(), stream], reps: 9.0 };
+        p.push(Phase::Compute(ComputePhase {
+            code: vec![],
+            items: vec![WorkItem::replicated(16.0, vec![looped])],
+        }));
+        p.push(Phase::Dma(DmaPhase::contiguous(DmaDirection::Out, 64, false)));
+        p
+    }
+
+    #[test]
+    fn rebind_replaces_expected_counts_and_nothing_else() {
+        let a = symbolic_program(12.0);
+        let b = a.rebind_expected(|n| n * 0.25);
+        assert_eq!(b.expected_counts(), vec![3.0]);
+        // Everything discrete is untouched: re-binding back restores the
+        // original program bit for bit.
+        assert_eq!(b.rebind_expected(|_| 12.0), a);
+        assert_eq!(a.dma_bytes(), b.dma_bytes());
+        assert_eq!(a.work_items(), b.work_items());
+    }
+
+    #[test]
+    fn rebind_of_an_exact_program_is_the_identity() {
+        let mut p = StreamProgram::new("exact", FpFormat::Fp16);
+        p.push(Phase::Compute(ComputePhase {
+            code: vec![],
+            items: vec![WorkItem::new(vec![KernelOp::Stream {
+                ssrs: vec![(
+                    SsrId::Ssr0,
+                    StreamSpec::Indirect {
+                        index_base: 0,
+                        index_bytes: 2,
+                        data_base: 0x80,
+                        elem_bytes: 8,
+                        indices: IndexStream::exact([1, 2, 3]),
+                    },
+                )],
+                op: FpOp::Add,
+            }])],
+        }));
+        assert!(p.expected_counts().is_empty());
+        assert_eq!(p.rebind_expected(|_| panic!("no symbolic streams")), p);
+    }
+}

@@ -236,6 +236,28 @@ impl ConvKernel {
         (program, ConvKernelOutput { currents, spikes, output, compressed })
     }
 
+    /// Expected stream length of one SpVA under `input_rate`: the active
+    /// input channels of one filter position. This is the continuous
+    /// scalar the plan cache re-binds across sparsity buckets, so it must
+    /// be computed by exactly one expression.
+    pub fn expected_stream_len(spec: &ConvSpec, input_rate: f64) -> f64 {
+        spec.input.c as f64 * input_rate.clamp(0.0, 1.0)
+    }
+
+    /// Expected compressed-ifmap spike count under `input_rate` — the
+    /// discretized quantity the tiling planner sizes buffers and DMA
+    /// traffic from. The padded border is silent, so the expectation
+    /// covers the interior.
+    pub fn expected_ifmap_spikes(spec: &ConvSpec, input_rate: f64) -> usize {
+        let padded = spec.padded_input();
+        let interior = if padded.h > 2 * spec.padding {
+            (padded.h - 2 * spec.padding) * (padded.w - 2 * spec.padding) * padded.c
+        } else {
+            padded.len()
+        };
+        (interior as f64 * input_rate.clamp(0.0, 1.0)).round() as usize
+    }
+
     /// Lower one layer symbolically from expected firing rates: the same
     /// emitter structure with a single representative receptive field
     /// replicated over all output positions, expected-length streams and
@@ -252,19 +274,9 @@ impl ConvKernel {
         let groups = spec.out_channels.div_ceil(lanes);
         let out = spec.conv_output();
         let kk = spec.kh * spec.kw;
-        let input_rate = input_rate.clamp(0.0, 1.0);
         let output_rate = output_rate.clamp(0.0, 1.0);
-        let s_len = spec.input.c as f64 * input_rate;
-
-        // The padded border is silent, so the expected spike count (and
-        // with it the compressed-ifmap DMA traffic) covers the interior.
-        let padded = spec.padded_input();
-        let interior = if padded.h > 2 * spec.padding {
-            (padded.h - 2 * spec.padding) * (padded.w - 2 * spec.padding) * padded.c
-        } else {
-            padded.len()
-        };
-        let expected_spikes = (interior as f64 * input_rate).round() as usize;
+        let s_len = Self::expected_stream_len(spec, input_rate);
+        let expected_spikes = Self::expected_ifmap_spikes(spec, input_rate);
 
         let plan = TilingPlanner::new(config).plan_conv_spikes(spec, self.format, expected_spikes);
         let addrs = ConvAddresses {

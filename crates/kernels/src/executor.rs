@@ -11,8 +11,15 @@
 //! accumulated in the [`ClusterModel`] as usual and collected by the caller
 //! with [`ClusterModel::finish_phase`].
 
+use std::sync::Arc;
+
 use snitch_arch::fp::FpFormat;
+use snitch_arch::ClusterConfig;
 use snitch_sim::ClusterModel;
+use spikestream_ir::{
+    CachedProgram, CostIntegrator, ProgramCache, ProgramKey, SparsityBucket, StreamProgram,
+    StructuralKey,
+};
 use spikestream_snn::tensor::TensorShape;
 use spikestream_snn::{
     AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, LifState, Network, SpikeMap,
@@ -239,6 +246,178 @@ impl LayerExecutor {
         );
         let LayerScratch { states, ifmap, fc, .. } = scratch;
         self.dispatch(cluster, layer, input, &mut states[layer_idx], ifmap, fc, false)
+    }
+
+    /// Lower one layer *symbolically* from expected firing rates,
+    /// dispatching to the matching kernel emitter exactly like the
+    /// cycle-level dispatch does for concrete inputs: the dense-encoding
+    /// kernel for the spike-encoding first layer, the sparse conv/pool/FC
+    /// emitters otherwise. The analytic backend integrates the result.
+    pub fn lower_symbolic(
+        &self,
+        config: &ClusterConfig,
+        layer: &Layer,
+        input_rate: f64,
+        output_rate: f64,
+    ) -> StreamProgram {
+        match &layer.kind {
+            LayerKind::Conv(spec) if layer.encodes_input => DenseEncodingKernel::new(
+                self.variant,
+                self.format,
+            )
+            .lower_symbolic(config, &layer.name, spec, output_rate),
+            LayerKind::Conv(spec) => ConvKernel::new(self.variant, self.format).lower_symbolic(
+                config,
+                &layer.name,
+                spec,
+                input_rate,
+                output_rate,
+            ),
+            LayerKind::AvgPool(spec) => PoolKernel::new(self.variant, self.format).lower_symbolic(
+                config,
+                &layer.name,
+                spec,
+                output_rate,
+            ),
+            LayerKind::Linear(spec) => FcKernel::new(self.variant, self.format).lower_symbolic(
+                config,
+                &layer.name,
+                spec,
+                input_rate,
+                output_rate,
+            ),
+        }
+    }
+
+    /// The cache key class of this executor's code variant.
+    fn class(&self) -> u32 {
+        match self.variant {
+            KernelVariant::Baseline => 0,
+            KernelVariant::SpikeStream => 1,
+        }
+    }
+
+    /// The exact and discrete cache keys of one symbolic binding of
+    /// `layer` — the single derivation shared by the preload and serving
+    /// paths, so warm-up entries can never drift out of reach of runtime
+    /// lookups. Two bindings that agree on the [`StructuralKey`] produce
+    /// programs differing only in their `Expected` gather counts.
+    fn cache_keys(
+        &self,
+        layer_idx: usize,
+        layer: &Layer,
+        input_rate: f64,
+        output_rate: f64,
+    ) -> (ProgramKey, StructuralKey) {
+        let key = ProgramKey {
+            layer: layer_idx as u32,
+            class: self.class(),
+            format: self.format,
+            bucket: SparsityBucket::of(input_rate, output_rate),
+        };
+        let footprint = match &layer.kind {
+            // The dense-encoding and pooling plans are input-independent.
+            LayerKind::Conv(_) if layer.encodes_input => 0,
+            LayerKind::AvgPool(_) => 0,
+            LayerKind::Conv(spec) => ConvKernel::expected_ifmap_spikes(spec, input_rate) as u64,
+            LayerKind::Linear(spec) => FcKernel::planned_active_inputs(spec, input_rate) as u64,
+        };
+        let structural = StructuralKey {
+            layer: layer_idx as u32,
+            class: self.class(),
+            format: self.format,
+            footprint,
+            output_bits: output_rate.clamp(0.0, 1.0).to_bits(),
+            input_silent: input_rate.clamp(0.0, 1.0) == 0.0,
+        };
+        (key, structural)
+    }
+
+    /// Re-bind a structurally identical cached program to this binding's
+    /// realized input sparsity, if the substitution is exact; `None` sends
+    /// the cache to the full emitter instead.
+    ///
+    /// Exactness: the dense-encoding and pooling emitters carry no
+    /// input-side symbolics at all (a donor with the same structural key
+    /// *is* the program), and the SpikeStream conv/FC emitters carry the
+    /// input sparsity only in their `Expected`-count gather streams. The
+    /// baseline conv/FC variants express it as scalar-loop trip counts,
+    /// which `rebind_expected` cannot reach — they re-emit.
+    fn rebind_program(
+        &self,
+        donor: &CachedProgram,
+        layer: &Layer,
+        input_rate: f64,
+    ) -> Option<StreamProgram> {
+        match &layer.kind {
+            LayerKind::Conv(_) if layer.encodes_input => Some(donor.program.clone()),
+            LayerKind::AvgPool(_) => Some(donor.program.clone()),
+            LayerKind::Conv(spec) if self.variant == KernelVariant::SpikeStream => {
+                let s_len = ConvKernel::expected_stream_len(spec, input_rate);
+                Some(donor.program.rebind_expected(|_| s_len))
+            }
+            LayerKind::Linear(spec) if self.variant == KernelVariant::SpikeStream => {
+                let s_len = FcKernel::expected_stream_len(spec, input_rate);
+                Some(donor.program.rebind_expected(|_| s_len))
+            }
+            LayerKind::Conv(_) | LayerKind::Linear(_) => None,
+        }
+    }
+
+    /// Ahead-of-time lowering of `layer` into the plan cache at the given
+    /// steady-state rates: emits and integrates the symbolic program once
+    /// and preloads it (as both an exact entry and a structural re-bind
+    /// donor) without touching the lookup counters. `Engine::compile`
+    /// drives this for every layer so a plan is born with each layer's
+    /// template program already lowered.
+    pub fn preload_symbolic(
+        &self,
+        cache: &ProgramCache,
+        integrator: &CostIntegrator,
+        layer_idx: usize,
+        layer: &Layer,
+        input_rate: f64,
+        output_rate: f64,
+    ) {
+        let (key, structural) = self.cache_keys(layer_idx, layer, input_rate, output_rate);
+        let program = self.lower_symbolic(integrator.config(), layer, input_rate, output_rate);
+        let cost = integrator.integrate(&program);
+        cache.preload(key, structural, CachedProgram { program, cost });
+    }
+
+    /// Bind `layer` at the realized `(input_rate, output_rate)` sparsity
+    /// through the plan-owned program cache: an exact bucket hit returns
+    /// the cached program and its integrated cost untouched; a structural
+    /// sibling is served by [`StreamProgram::rebind_expected`]; only a
+    /// genuinely new shape runs the emitter. This is the entry point the
+    /// analytic serving hot path uses so that lowering happens ahead of
+    /// time (or once per realized sparsity bucket), never per sample.
+    pub fn bind_symbolic(
+        &self,
+        cache: &ProgramCache,
+        integrator: &CostIntegrator,
+        layer_idx: usize,
+        layer: &Layer,
+        input_rate: f64,
+        output_rate: f64,
+    ) -> Arc<CachedProgram> {
+        let (key, structural) = self.cache_keys(layer_idx, layer, input_rate, output_rate);
+        cache.bind_with(
+            key,
+            structural,
+            |donor| {
+                self.rebind_program(donor, layer, input_rate).map(|program| {
+                    let cost = integrator.integrate(&program);
+                    CachedProgram { program, cost }
+                })
+            },
+            || {
+                let program =
+                    self.lower_symbolic(integrator.config(), layer, input_rate, output_rate);
+                let cost = integrator.integrate(&program);
+                CachedProgram { program, cost }
+            },
+        )
     }
 
     /// The shared kernel dispatch behind [`LayerExecutor::run_with_scratch`]
@@ -527,6 +706,79 @@ mod tests {
             LayerInput::Spikes(&spikes),
             &mut LayerScratch::new(),
         );
+    }
+
+    #[test]
+    fn rebound_programs_are_bit_identical_to_fresh_emissions() {
+        use spikestream_snn::{LinearSpec, PoolSpec};
+        let lif = LifParams::new(0.5, 0.25);
+        let conv_spec = ConvSpec {
+            input: TensorShape::new(8, 8, 16),
+            out_channels: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            pool: false,
+        };
+        let mut encoder = Layer::new("enc", LayerKind::Conv(conv_spec), lif);
+        encoder.encodes_input = true;
+        let conv = Layer::new("conv", LayerKind::Conv(conv_spec), lif);
+        let pool = Layer::new(
+            "pool",
+            LayerKind::AvgPool(PoolSpec { input: conv_spec.input, window: 2 }),
+            lif,
+        );
+        let fc = Layer::new(
+            "fc",
+            LayerKind::Linear(LinearSpec { in_features: 256, out_features: 10 }),
+            lif,
+        );
+
+        let integrator = CostIntegrator::snitch();
+        for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
+            let executor = LayerExecutor::new(variant, FpFormat::Fp16);
+            for (idx, layer) in [&encoder, &conv, &pool, &fc].into_iter().enumerate() {
+                // Two rates sharing the discrete footprint (the conv
+                // interior has 1024 sites: both round to 307 spikes) but
+                // differing in the continuous stream lengths.
+                let (r1, r2) = (0.2998, 0.3002);
+                let cache = ProgramCache::new();
+                let first = executor.bind_symbolic(&cache, &integrator, idx, layer, r1, 0.4);
+                let second = executor.bind_symbolic(&cache, &integrator, idx, layer, r2, 0.4);
+                let fresh = executor.lower_symbolic(integrator.config(), layer, r2, 0.4);
+                assert_eq!(second.program, fresh, "{variant} {}: rebind == emit", layer.name);
+                assert_eq!(second.cost, integrator.integrate(&fresh), "{variant} {}", layer.name);
+                assert!(first.cost.cycles > 0, "sanity: bound programs integrate");
+                let counters = cache.counters();
+                let rebindable = matches!(layer.kind, LayerKind::AvgPool(_))
+                    || layer.encodes_input
+                    || variant == KernelVariant::SpikeStream;
+                assert_eq!(
+                    (counters.emits, counters.rebinds),
+                    if rebindable { (1, 1) } else { (2, 0) },
+                    "{variant} {}: structural sibling served by rebind iff exact",
+                    layer.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bind_symbolic_hits_on_repeated_bindings() {
+        let (layer, _) = conv_layer(false);
+        let executor = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16);
+        let integrator = CostIntegrator::snitch();
+        let cache = ProgramCache::new();
+        let a = executor.bind_symbolic(&cache, &integrator, 1, &layer, 0.3, 0.2);
+        let b = executor.bind_symbolic(&cache, &integrator, 1, &layer, 0.3, 0.2);
+        assert!(Arc::ptr_eq(&a, &b), "hits return the cached Arc");
+        assert_eq!(cache.counters().hits, 1);
+        // A silent input is a different *structure* (the gather is omitted
+        // entirely), so it must not be served by re-binding.
+        let silent = executor.bind_symbolic(&cache, &integrator, 1, &layer, 0.0, 0.2);
+        assert_ne!(silent.program, a.program);
+        assert_eq!(cache.counters().emits, 2);
     }
 
     #[test]

@@ -177,6 +177,19 @@ impl FcKernel {
         (program, FcKernelOutput { currents, spikes, compressed })
     }
 
+    /// Expected stream length of the gather under `input_rate`: the active
+    /// input features. The continuous scalar the plan cache re-binds
+    /// across sparsity buckets.
+    pub fn expected_stream_len(spec: &LinearSpec, input_rate: f64) -> f64 {
+        spec.in_features as f64 * input_rate.clamp(0.0, 1.0)
+    }
+
+    /// Expected active-input count the tiling planner sizes the index
+    /// buffer and DMA traffic from (the discretized part of a binding).
+    pub fn planned_active_inputs(spec: &LinearSpec, input_rate: f64) -> usize {
+        (Self::expected_stream_len(spec, input_rate).round() as usize).max(1)
+    }
+
     /// Symbolic lowering from expected firing rates: one representative
     /// group replicated over all SIMD groups with an expected-length
     /// stream.
@@ -190,14 +203,13 @@ impl FcKernel {
     ) -> StreamProgram {
         let lanes = self.format.simd_lanes() as usize;
         let groups = spec.out_features.div_ceil(lanes);
-        let input_rate = input_rate.clamp(0.0, 1.0);
         let output_rate = output_rate.clamp(0.0, 1.0);
-        let s_len = spec.in_features as f64 * input_rate;
+        let s_len = Self::expected_stream_len(spec, input_rate);
 
         let plan = TilingPlanner::new(config).plan_linear(
             spec,
             self.format,
-            (s_len.round() as usize).max(1),
+            Self::planned_active_inputs(spec, input_rate),
         );
         let weights_base = plan.weights.base;
         let idcs_base = plan.ifmap_idcs.base;

@@ -2,18 +2,18 @@
 //! backend.
 //!
 //! This example exercises the lower-level APIs directly: network
-//! construction, backend selection via [`Engine::run_with_backend`] (here
-//! the cycle-level backend, which drives the kernels through the
+//! construction, explicit backend binding via `Compiler::with_backend`
+//! (here the cycle-level backend, which drives the kernels through the
 //! `LayerExecutor` dispatch), and the per-layer report. Third-party
-//! backends — accelerator models, event-driven simulators — plug into the
-//! same call without touching the engine.
+//! backends — accelerator models, event-driven simulators — bind into a
+//! plan the same way without touching the engine.
 //!
 //! ```text
 //! cargo run --release --example custom_network
 //! ```
 
 use spikestream::{
-    CycleLevelBackend, Engine, FiringProfile, FpFormat, InferenceConfig, KernelVariant,
+    CycleLevelBackend, Engine, FiringProfile, FpFormat, InferenceConfig, KernelVariant, Request,
     TimingModel, WorkloadMode,
 };
 use spikestream_snn::neuron::LifParams;
@@ -61,19 +61,21 @@ fn main() {
 
     println!("Custom network on the Snitch cluster (cycle-level backend)\n");
     for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
-        // Equivalent to `engine.run` with `timing: TimingModel::CycleLevel`;
-        // spelled out to show where custom backends plug in.
-        let report = engine.run_with_backend(
-            &CycleLevelBackend,
-            &InferenceConfig {
+        // Equivalent to compiling with `timing: TimingModel::CycleLevel`;
+        // spelled out to show where custom backends bind into a plan.
+        let plan = engine
+            .compiler()
+            .with_backend(Box::new(CycleLevelBackend))
+            .compile(InferenceConfig {
                 variant,
                 format: FpFormat::Fp16,
                 timing: TimingModel::CycleLevel,
                 batch: 2,
                 seed: 3,
                 mode: WorkloadMode::Synthetic,
-            },
-        );
+            })
+            .expect("network and profile compile");
+        let report = plan.open_session().infer(&Request::batch(2));
         println!("{variant}:");
         for layer in &report.layers {
             println!(

@@ -1,18 +1,23 @@
-//! Quickstart: run the S-VGG11 network with both code variants and print
-//! the end-to-end comparison the paper's abstract is built on.
+//! Quickstart: compile the S-VGG11 network into serving plans for both
+//! code variants and print the end-to-end comparison the paper's abstract
+//! is built on.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel, WorkloadMode};
+use spikestream::{
+    Engine, FpFormat, InferenceConfig, KernelVariant, Request, TimingModel, WorkloadMode,
+};
 
 fn main() {
     let engine = Engine::svgg11(42);
     let batch = 16;
 
-    let run = |variant, format| {
-        engine.run(&InferenceConfig {
+    // Compile once per configuration: validation, backend binding and the
+    // ahead-of-time lowering of every layer's stream program happen here.
+    let compile = |variant, format| {
+        engine.compile(&InferenceConfig {
             variant,
             format,
             timing: TimingModel::Analytic,
@@ -21,10 +26,16 @@ fn main() {
             mode: WorkloadMode::Synthetic,
         })
     };
+    // Then serve: a session owns the worker arenas and answers requests
+    // against the plan's cached programs. (The legacy form — the
+    // deprecated `engine.run(&config)` — still works and produces the
+    // bit-identical report, as a one-shot wrapper over exactly this path.)
+    let serve =
+        |variant, format| compile(variant, format).open_session().infer(&Request::batch(batch));
 
-    let baseline = run(KernelVariant::Baseline, FpFormat::Fp16);
-    let streamed16 = run(KernelVariant::SpikeStream, FpFormat::Fp16);
-    let streamed8 = run(KernelVariant::SpikeStream, FpFormat::Fp8);
+    let baseline = serve(KernelVariant::Baseline, FpFormat::Fp16);
+    let streamed16 = serve(KernelVariant::SpikeStream, FpFormat::Fp16);
+    let streamed8 = serve(KernelVariant::SpikeStream, FpFormat::Fp8);
 
     println!("S-VGG11 single-timestep inference, batch of {batch} synthetic CIFAR-10 frames\n");
     println!(

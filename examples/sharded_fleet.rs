@@ -14,7 +14,7 @@
 //! ```
 
 use spikestream_repro::core::{
-    AnalyticBackend, Engine, FpFormat, InferenceConfig, KernelVariant, TimingModel, WorkloadMode,
+    Engine, FpFormat, InferenceConfig, KernelVariant, Request, TimingModel, WorkloadMode,
 };
 
 fn main() {
@@ -28,8 +28,12 @@ fn main() {
         mode: WorkloadMode::Synthetic,
     };
 
-    let sharded = engine.run_sharded(&AnalyticBackend, &config, 8);
-    let sequential = engine.run_sequential(&AnalyticBackend, &config);
+    // Compile once; one session serves both the sharded and the sequential
+    // request from the same plan-owned program cache.
+    let plan = engine.compile(&config);
+    let mut session = plan.open_session();
+    let sharded = session.infer(&Request::batch(config.batch).with_shards(8));
+    let sequential = session.infer(&Request::batch(config.batch).sequential());
 
     println!("S-VGG11 · SpikeStream · FP16 · batch 128 over 8 cluster shards\n");
     let fleet = sharded.shards.as_ref().expect("sharded runs carry fleet stats");

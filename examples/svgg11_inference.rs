@@ -13,14 +13,16 @@ fn main() {
     let engine = Engine::svgg11(42);
 
     let run = |variant| {
-        engine.run(&InferenceConfig {
-            variant,
-            format: FpFormat::Fp16,
-            timing: TimingModel::Analytic,
-            batch,
-            seed: 11,
-            mode: WorkloadMode::Synthetic,
-        })
+        engine
+            .compile(&InferenceConfig {
+                variant,
+                format: FpFormat::Fp16,
+                timing: TimingModel::Analytic,
+                batch,
+                seed: 11,
+                mode: WorkloadMode::Synthetic,
+            })
+            .run()
     };
     let baseline = run(KernelVariant::Baseline);
     let streamed = run(KernelVariant::SpikeStream);

@@ -12,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use spikestream::{InferenceReport, Scenario, TemporalEncoding, WorkloadMode};
+use spikestream::{InferenceReport, Request, Scenario, TemporalEncoding, WorkloadMode};
 
 const USAGE: &str = "\
 spikestream — sharded batch-inference driver for the SpikeStream reproduction
@@ -170,7 +170,10 @@ fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let opts = parse_options(Command::Run, args)?;
-    let report = opts.scenario.run();
+    // Compile once, then serve the request through a session — the CLI
+    // never assembles backends by hand and never re-lowers per call.
+    let plan = opts.scenario.compile().map_err(|e| e.to_string())?;
+    let report = plan.open_session().infer(&opts.scenario.request());
     if opts.json {
         println!("{}", report.to_json());
         return Ok(());
@@ -208,11 +211,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         "{:>7} {:>16} {:>10} {:>10} {:>12} {:>12}",
         "shards", "makespan [cyc]", "speedup", "imbalance", "util(min)", "util(max)"
     );
+    // One compiled plan and one long-lived session serve the whole sweep:
+    // only the fleet attribution changes between shard counts, so the
+    // lowering is paid exactly once.
+    let plan = opts.scenario.compile().map_err(|e| e.to_string())?;
+    let mut session = plan.open_session();
     let mut aggregate_json: Option<String> = None;
     for &shards in &shard_counts {
-        let mut scenario = opts.scenario.clone();
-        scenario.shards = shards;
-        let report = scenario.run();
+        let report = session.infer(&Request::batch(opts.scenario.config.batch).with_shards(shards));
         let fleet = report.shards.as_ref().expect("sharded runs carry fleet stats");
         let util_min = fleet.shards.iter().map(|s| s.utilization).fold(f64::INFINITY, f64::min);
         let util_max = fleet.shards.iter().map(|s| s.utilization).fold(0.0, f64::max);
@@ -244,8 +250,10 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut streamed_scenario = opts.scenario.clone();
     streamed_scenario.config.variant = KernelVariant::SpikeStream;
 
-    let baseline = baseline_scenario.run();
-    let streamed = streamed_scenario.run();
+    let baseline_plan = baseline_scenario.compile().map_err(|e| e.to_string())?;
+    let streamed_plan = streamed_scenario.compile().map_err(|e| e.to_string())?;
+    let baseline = baseline_plan.open_session().infer(&baseline_scenario.request());
+    let streamed = streamed_plan.open_session().infer(&streamed_scenario.request());
     println!(
         "scenario `{}`: Baseline vs SpikeStream · {} · {} · batch {} · {} shard(s)",
         opts.scenario.name, baseline.network, baseline.format, baseline.batch, opts.scenario.shards,

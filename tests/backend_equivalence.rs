@@ -6,7 +6,7 @@
 
 use spikestream::{
     AnalyticBackend, CycleLevelBackend, Engine, ExecutionBackend, FiringProfile, FpFormat,
-    InferenceConfig, InferenceReport, KernelVariant, TimingModel, WorkloadMode,
+    InferenceConfig, InferenceReport, KernelVariant, Request, TimingModel, WorkloadMode,
 };
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
@@ -101,7 +101,7 @@ fn backends_agree_on_the_streaming_speedup() {
     let run = |timing, variant| {
         let mut cfg = config(timing, 2);
         cfg.variant = variant;
-        engine.run(&cfg).total_cycles()
+        engine.compile(&cfg).run().total_cycles()
     };
     for timing in [TimingModel::Analytic, TimingModel::CycleLevel] {
         let base = run(timing, KernelVariant::Baseline);
@@ -123,8 +123,10 @@ fn parallel_batch_128_is_byte_identical_to_sequential() {
         seed: 0xC1FA,
         mode: WorkloadMode::Synthetic,
     };
-    let parallel: InferenceReport = engine.run(&cfg);
-    let sequential = engine.run_sequential(&AnalyticBackend, &cfg);
+    let plan = engine.compile(&cfg);
+    let mut session = plan.open_session();
+    let parallel: InferenceReport = session.infer(&Request::batch(cfg.batch));
+    let sequential = session.infer(&Request::batch(cfg.batch).sequential());
     assert_eq!(
         parallel.to_json(),
         sequential.to_json(),
@@ -136,7 +138,9 @@ fn parallel_batch_128_is_byte_identical_to_sequential() {
 fn cycle_level_parallel_runs_are_deterministic_too() {
     let engine = engine();
     let cfg = config(TimingModel::CycleLevel, 6);
-    let parallel = engine.run(&cfg);
-    let sequential = engine.run_sequential(&CycleLevelBackend, &cfg);
+    let plan = engine.compile(&cfg);
+    let mut session = plan.open_session();
+    let parallel = session.infer(&Request::batch(cfg.batch));
+    let sequential = session.infer(&Request::batch(cfg.batch).sequential());
     assert_eq!(parallel.to_json(), sequential.to_json());
 }

@@ -1,0 +1,157 @@
+//! Plan-cache behavior under the serving lifecycle.
+//!
+//! What makes `Plan`/`Session` a *compile-once* API measurable: repeated
+//! requests over the same sample population are pure cache hits (no
+//! emitter, no cost integration in the per-sample loop), cross-bucket
+//! misses are served by `Expected`-count re-binding when the program
+//! shape allows it, and the steady state allocates nothing — neither new
+//! cache entries nor arena growth.
+
+use spikestream::{
+    Engine, FpFormat, InferenceConfig, KernelVariant, Plan, Request, TimingModel, WorkloadMode,
+};
+use spikestream_ir::CostIntegrator;
+use spikestream_kernels::LayerExecutor;
+
+fn analytic_plan(batch: usize) -> Plan {
+    Engine::svgg11(5).compile(&InferenceConfig {
+        variant: KernelVariant::SpikeStream,
+        format: FpFormat::Fp16,
+        timing: TimingModel::Analytic,
+        batch,
+        seed: 0x5EED,
+        mode: WorkloadMode::Synthetic,
+    })
+}
+
+#[test]
+fn plan_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Plan>();
+    // And usable from another thread: the backend is a plan-owned value,
+    // not a reference into a static registry.
+    let plan = analytic_plan(2);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let report = plan.open_session().infer(&Request::batch(2));
+            assert_eq!(report.layers.len(), 8);
+        });
+    });
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_without_new_entries() {
+    let plan = analytic_plan(16);
+    let units = plan.network().len() * 16;
+    let mut session = plan.open_session();
+
+    session.infer(&Request::batch(16));
+    let warm = plan.programs().counters();
+    let warm_len = plan.programs().len();
+    assert_eq!(warm.lookups(), units as u64, "one binding per (sample, layer)");
+    assert!(warm.misses() > 0, "first request binds the realized buckets");
+
+    for _ in 0..3 {
+        session.infer(&Request::batch(16));
+    }
+    let steady = plan.programs().counters();
+    assert_eq!(steady.hits, warm.hits + 3 * units as u64, "steady state is all hits");
+    assert_eq!(steady.misses(), warm.misses(), "no further emissions or rebinds");
+    assert_eq!(plan.programs().len(), warm_len, "no per-request cache insertions");
+}
+
+#[test]
+fn new_sample_populations_miss_into_new_buckets() {
+    let plan = analytic_plan(4);
+    let units = plan.network().len() * 4;
+    let mut session = plan.open_session();
+    session.infer(&Request::samples(0..4));
+    let warm = plan.programs().counters();
+
+    // Different samples realize different jittered sparsities: every
+    // binding is a fresh bucket (served cold), none steals a warm hit.
+    session.infer(&Request::samples(100..104));
+    let cold = plan.programs().counters();
+    assert_eq!(cold.hits, warm.hits, "disjoint sample jitter shares no bucket");
+    assert_eq!(cold.misses(), warm.misses() + units as u64);
+
+    // ... and re-serving the *first* population again is all hits.
+    session.infer(&Request::samples(0..4));
+    let again = plan.programs().counters();
+    assert_eq!(again.hits, cold.hits + units as u64);
+    assert_eq!(again.misses(), cold.misses());
+}
+
+#[test]
+fn cross_bucket_misses_rebind_instead_of_re_emitting() {
+    // Drive the plan-owned cache through the executor exactly like the
+    // analytic backend does, with two sparsities that share the discrete
+    // program shape (same planner footprint, same output rate): the
+    // second binding must be served by `Expected`-count re-binding and be
+    // bit-identical to a from-scratch emission.
+    let plan = analytic_plan(2);
+    let cache = plan.programs();
+    let executor = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16);
+    let integrator = CostIntegrator::snitch();
+    let layer_idx = 2; // a spike-consuming conv layer of S-VGG11
+    let layer = &plan.network().layers()[layer_idx];
+
+    let before = cache.counters();
+    let (r1, r2) = (0.2000001, 0.2000002); // same rounded ifmap footprint
+    let first = executor.bind_symbolic(cache, &integrator, layer_idx, layer, r1, 0.15);
+    let second = executor.bind_symbolic(cache, &integrator, layer_idx, layer, r2, 0.15);
+    let after = cache.counters();
+
+    assert_eq!(after.emits, before.emits + 1, "only the first binding runs the emitter");
+    assert_eq!(after.rebinds, before.rebinds + 1, "the sibling bucket is re-bound");
+    assert_ne!(first.program, second.program, "distinct buckets, distinct Expected counts");
+    let fresh = executor.lower_symbolic(integrator.config(), layer, r2, 0.15);
+    assert_eq!(second.program, fresh, "re-binding is bit-identical to re-emission");
+    assert_eq!(second.cost, integrator.integrate(&fresh));
+}
+
+#[test]
+fn steady_state_requests_grow_no_arena_buffers() {
+    let plan = analytic_plan(12);
+    let mut session = plan.open_session();
+    // Warm-up: arenas size themselves to the workload.
+    session.infer(&Request::batch(12));
+    session.infer(&Request::batch(12).with_shards(4));
+    let (_, grows_warm) = session.arena_stats();
+
+    for _ in 0..4 {
+        session.infer(&Request::batch(12));
+        session.infer(&Request::batch(12).with_shards(4));
+    }
+    let (runs, grows) = session.arena_stats();
+    assert_eq!(runs, 10 * 12, "every sample ran through an arena");
+    assert_eq!(grows, grows_warm, "steady-state serving allocates no arena growth");
+}
+
+#[test]
+fn temporal_sessions_reuse_membrane_state_arenas_across_requests() {
+    use spikestream::{NetworkChoice, TemporalEncoding};
+    let (network, profile) = NetworkChoice::TinyCnn.build(7);
+    let engine = Engine::new(network, profile);
+    let config = InferenceConfig {
+        timing: TimingModel::CycleLevel,
+        batch: 2,
+        seed: 9,
+        ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+    }
+    .temporal(3, TemporalEncoding::Rate);
+    let plan = engine.compile(&config);
+    let mut session = plan.open_session();
+
+    let first = session.infer(&Request::batch(2).sequential());
+    let (_, grows_warm) = session.arena_stats();
+    for _ in 0..3 {
+        // Membranes are reset per sample by the arena-owned scratch, so
+        // repeated requests are bit-identical and allocation-free.
+        let again = session.infer(&Request::batch(2).sequential());
+        assert_eq!(again.to_json(), first.to_json());
+    }
+    let (runs, grows) = session.arena_stats();
+    assert_eq!(runs, 8);
+    assert_eq!(grows, grows_warm, "temporal scratch reuse reaches steady state");
+}

@@ -3,7 +3,13 @@
 
 use std::path::Path;
 
-use spikestream::{KernelVariant, NetworkChoice, Scenario, TimingModel};
+use spikestream::{KernelVariant, NetworkChoice, Request, Scenario, TimingModel};
+
+/// Serve one scenario through the compile-once lifecycle (what the CLI's
+/// `run` subcommand does).
+fn serve(scenario: &Scenario) -> spikestream::InferenceReport {
+    scenario.compile().expect("scenario compiles").open_session().infer(&scenario.request())
+}
 
 fn scenario_dir() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios")
@@ -32,7 +38,7 @@ fn the_smoke_scenario_is_cycle_level_and_fast() {
     assert_eq!(scenario.config.timing, TimingModel::CycleLevel);
     assert!(scenario.config.batch <= 16, "smoke batch stays CI-sized");
 
-    let report = scenario.run();
+    let report = serve(&scenario);
     assert_eq!(report.layers.len(), 3);
     assert!(report.total_cycles() > 0.0);
     let fleet = report.shards.expect("sharded run carries fleet stats");
@@ -45,7 +51,7 @@ fn the_pool_scenario_runs_the_avgpool_layer_on_both_backends() {
     assert_eq!(scenario.network, NetworkChoice::TinyPool);
     assert_eq!(scenario.config.timing, TimingModel::CycleLevel);
 
-    let cycle = scenario.run();
+    let cycle = serve(&scenario);
     assert_eq!(cycle.layers.len(), 3);
     let pool = cycle.layer("pool2").expect("the pooling layer reports");
     assert!(pool.cycles > 0.0 && pool.synops > 0.0);
@@ -57,7 +63,7 @@ fn the_pool_scenario_runs_the_avgpool_layer_on_both_backends() {
     // expected input spike count matches the realized one.
     let mut analytic = scenario.clone();
     analytic.config.timing = TimingModel::Analytic;
-    let report = analytic.run();
+    let report = serve(&analytic);
     let a = report.layer("pool2").unwrap();
     assert_eq!(a.input_spikes.round(), pool.input_spikes);
     assert!(a.cycles > 0.0);
@@ -73,8 +79,10 @@ fn the_headline_scenario_matches_the_paper_configuration() {
 
     // The full headline run: sharded aggregate == sequential reference,
     // which is the CLI acceptance property (`spikestream run --shards 8`).
-    let sharded = scenario.run();
-    let sequential = scenario.run_sequential();
+    let plan = scenario.compile().unwrap();
+    let mut session = plan.open_session();
+    let sharded = session.infer(&scenario.request());
+    let sequential = session.infer(&Request::batch(scenario.config.batch).sequential());
     assert!(sharded.to_json().contains("\"per_shard\""));
     assert_eq!(sharded.without_shard_stats().to_json(), sequential.to_json());
 }
@@ -85,7 +93,7 @@ fn scenario_overrides_compose_like_the_cli_flags() {
     // What `spikestream run --batch 16 --shards 3` does to the scenario.
     scenario.config.batch = 16;
     scenario.shards = 3;
-    let report = scenario.run();
+    let report = serve(&scenario);
     assert_eq!(report.batch, 16);
     assert_eq!(report.shards.expect("fleet stats").shards.len(), 3);
 }

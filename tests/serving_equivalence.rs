@@ -1,0 +1,145 @@
+//! Golden-JSON serving equivalence.
+//!
+//! The compile-once `Plan`/`Session` redesign must not move a single byte
+//! of any report: this suite replays the scenarios of the pre-redesign
+//! engine — cycle-level (`tiny`, `tiny_pool`), temporal (`tiny_temporal`)
+//! and analytic (S-VGG11 FP16/FP8, synthetic and temporal) at 1/2/4
+//! shards — and compares
+//!
+//! 1. the *legacy* entry points (`Engine::run`, `Engine::run_sequential`,
+//!    `Engine::run_sharded`, `Scenario::run`), now thin deprecated
+//!    wrappers over a one-shot session, and
+//! 2. the *serving* path (`Scenario::compile` → `Session::infer`)
+//!
+//! byte for byte against the JSON reports captured from the pre-redesign
+//! code (`tests/golden/*.json`).
+//!
+//! This file is the one sanctioned caller of the deprecated wrappers — the
+//! explicit exemption of the CI `-D deprecated` gate.
+#![allow(deprecated)]
+
+use std::path::{Path, PathBuf};
+
+use spikestream::{AnalyticBackend, CycleLevelBackend, Request, Scenario, TimingModel};
+
+fn repo_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
+}
+
+fn golden(name: &str) -> String {
+    let path = repo_dir().join("tests/golden").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden capture {} must exist: {e}", path.display()))
+        .trim_end()
+        .to_string()
+}
+
+fn scenario(name: &str) -> Scenario {
+    Scenario::from_file(&repo_dir().join("examples/scenarios").join(name)).expect("scenario parses")
+}
+
+/// Serve `scenario` at `shards` through the new lifecycle.
+fn serve(scenario: &Scenario, shards: usize) -> String {
+    let plan = scenario.compile().expect("scenario compiles");
+    plan.open_session().infer(&Request::batch(scenario.config.batch).with_shards(shards)).to_json()
+}
+
+/// Run `scenario` at `shards` through the legacy wrapper entry points.
+fn legacy(scenario: &Scenario, shards: usize) -> String {
+    let mut legacy = scenario.clone();
+    legacy.shards = shards;
+    legacy.run().to_json()
+}
+
+#[test]
+fn cycle_level_and_temporal_scenarios_match_the_pre_redesign_captures() {
+    for name in ["tiny", "tiny_pool", "tiny_temporal"] {
+        let scenario = scenario(&format!("{name}.toml"));
+        for shards in [1usize, 2, 4] {
+            let expected = golden(&format!("{name}_shards{shards}.json"));
+            assert_eq!(serve(&scenario, shards), expected, "{name} @ {shards} shards: session");
+            assert_eq!(legacy(&scenario, shards), expected, "{name} @ {shards} shards: legacy");
+        }
+    }
+}
+
+#[test]
+fn analytic_scenarios_match_the_pre_redesign_captures() {
+    // `spikestream run svgg11_fp16.toml --batch 8 --shards 2 --json`
+    let mut fp16 = scenario("svgg11_fp16.toml");
+    fp16.config.batch = 8;
+    assert_eq!(fp16.config.timing, TimingModel::Analytic);
+    let expected = golden("svgg11_analytic_shards2.json");
+    assert_eq!(serve(&fp16, 2), expected, "svgg11 fp16: session");
+    assert_eq!(legacy(&fp16, 2), expected, "svgg11 fp16: legacy");
+
+    // `--batch 4 --timesteps 3 --shards 2`: the temporal analytic path.
+    let mut temporal = scenario("svgg11_fp16.toml");
+    temporal.config.batch = 4;
+    temporal.config = temporal.config.temporal_steps(3);
+    let expected = golden("svgg11_analytic_t3_shards2.json");
+    assert_eq!(serve(&temporal, 2), expected, "svgg11 t3: session");
+    assert_eq!(legacy(&temporal, 2), expected, "svgg11 t3: legacy");
+
+    // `spikestream run svgg11_fp8.toml --batch 8 --shards 4 --json`
+    let mut fp8 = scenario("svgg11_fp8.toml");
+    fp8.config.batch = 8;
+    let expected = golden("svgg11_fp8_analytic_shards4.json");
+    assert_eq!(serve(&fp8, 4), expected, "svgg11 fp8: session");
+    assert_eq!(legacy(&fp8, 4), expected, "svgg11 fp8: legacy");
+}
+
+#[test]
+fn every_legacy_engine_entry_point_is_a_faithful_session_wrapper() {
+    let scenario = scenario("tiny.toml");
+    let engine = scenario.engine();
+    let config = scenario.config;
+    let plan = engine.compile(&config);
+    let mut session = plan.open_session();
+
+    // Engine::run == parallel session over the full batch.
+    assert_eq!(
+        engine.run(&config).to_json(),
+        session.infer(&Request::batch(config.batch)).to_json()
+    );
+    // Engine::run_sequential == sequential request.
+    assert_eq!(
+        engine.run_sequential(&CycleLevelBackend, &config).to_json(),
+        session.infer(&Request::batch(config.batch).sequential()).to_json()
+    );
+    // Engine::run_sharded == sharded request.
+    assert_eq!(
+        engine.run_sharded(&CycleLevelBackend, &config, 3).to_json(),
+        session.infer(&Request::batch(config.batch).with_shards(3)).to_json()
+    );
+    // Engine::run_with_backend == explicit-backend request; the timing
+    // model named by the config is ignored in favour of the caller's
+    // backend, exactly as before.
+    let analytic = engine.run_with_backend(&AnalyticBackend, &config).to_json();
+    assert_eq!(
+        analytic,
+        session.infer_with_backend(&AnalyticBackend, &Request::batch(config.batch)).to_json()
+    );
+    // Scenario::run == compile + sharded request.
+    assert_eq!(legacy(&scenario, scenario.shards), serve(&scenario, scenario.shards));
+}
+
+#[test]
+fn legacy_wrappers_keep_tolerating_a_zero_batch() {
+    // The historical entry points clamped `batch: 0` to one sample; the
+    // strict `Compiler::compile` rejects it, but the wrappers must keep
+    // the old tolerance (bit-identical behavior, not just bit-identical
+    // numbers).
+    let scenario = scenario("tiny.toml");
+    let engine = scenario.engine();
+    let mut config = scenario.config;
+    config.batch = 0;
+    let zero = engine.run(&config);
+    config.batch = 1;
+    assert_eq!(zero.to_json(), engine.run(&config).to_json());
+
+    let mut zero_scenario = scenario.clone();
+    zero_scenario.config.batch = 0;
+    assert_eq!(zero_scenario.run().batch, 1);
+    assert_eq!(zero_scenario.run_sequential().batch, 1);
+}

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use spikestream::{
-    AnalyticBackend, BatchScheduler, CycleLevelBackend, Engine, FpFormat, InferenceConfig,
-    KernelVariant, NetworkChoice, Scenario, TimingModel, WorkloadMode,
+    AnalyticBackend, BatchScheduler, Engine, FpFormat, InferenceConfig, KernelVariant,
+    NetworkChoice, Request, Scenario, TimingModel, WorkloadMode,
 };
 
 fn svgg11_config(batch: usize) -> InferenceConfig {
@@ -23,9 +23,11 @@ fn svgg11_config(batch: usize) -> InferenceConfig {
 fn sharded_aggregates_are_bit_identical_to_sequential_at_1_2_8_shards() {
     let engine = Engine::svgg11(9);
     let config = svgg11_config(32);
-    let sequential = engine.run_sequential(&AnalyticBackend, &config);
+    let plan = engine.compile(&config);
+    let mut session = plan.open_session();
+    let sequential = session.infer(&Request::batch(32).sequential());
     for shards in [1, 2, 8] {
-        let sharded = engine.run_sharded(&AnalyticBackend, &config, shards);
+        let sharded = session.infer(&Request::batch(32).with_shards(shards));
         let fleet = sharded.shards.clone().expect("sharded runs carry fleet stats");
         assert_eq!(fleet.shards.len(), shards);
         let stripped = sharded.without_shard_stats();
@@ -40,9 +42,10 @@ fn sharded_cycle_level_backend_matches_sequential_too() {
         "[scenario]\nname = \"cyc\"\nnetwork = \"tiny-cnn\"\ntiming = \"cycle-level\"\nbatch = 5\nshards = 2\nseed = 3\n",
     )
     .unwrap();
-    let engine = scenario.engine();
-    let sharded = engine.run_sharded(&CycleLevelBackend, &scenario.config, 2);
-    let sequential = engine.run_sequential(&CycleLevelBackend, &scenario.config);
+    let plan = scenario.compile().unwrap();
+    let mut session = plan.open_session();
+    let sharded = session.infer(&scenario.request());
+    let sequential = session.infer(&Request::batch(scenario.config.batch).sequential());
     assert_eq!(sharded.without_shard_stats(), sequential);
 }
 
@@ -50,9 +53,11 @@ fn sharded_cycle_level_backend_matches_sequential_too() {
 fn fleet_statistics_are_deterministic_across_repeated_runs() {
     let engine = Engine::svgg11(9);
     let config = svgg11_config(48);
-    let first = engine.run_sharded(&AnalyticBackend, &config, 8);
+    let plan = engine.compile(&config);
+    let mut session = plan.open_session();
+    let first = session.infer(&Request::batch(48).with_shards(8));
     for _ in 0..3 {
-        let again = engine.run_sharded(&AnalyticBackend, &config, 8);
+        let again = session.infer(&Request::batch(48).with_shards(8));
         assert_eq!(again, first);
         assert_eq!(again.to_json(), first.to_json());
     }
@@ -62,7 +67,7 @@ fn fleet_statistics_are_deterministic_across_repeated_runs() {
 fn imbalance_statistics_are_sane() {
     let engine = Engine::svgg11(9);
     let config = svgg11_config(64);
-    let report = engine.run_sharded(&AnalyticBackend, &config, 8);
+    let report = engine.compile(&config).open_session().infer(&Request::batch(64).with_shards(8));
     let fleet = report.shards.clone().expect("fleet stats present");
 
     assert_eq!(fleet.shards.iter().map(|s| s.samples).sum::<u64>(), 64);
@@ -89,7 +94,7 @@ fn imbalance_statistics_are_sane() {
 fn more_shards_than_samples_leave_the_tail_idle() {
     let engine = Engine::svgg11(9);
     let config = svgg11_config(3);
-    let report = engine.run_sharded(&AnalyticBackend, &config, 8);
+    let report = engine.compile(&config).open_session().infer(&Request::batch(3).with_shards(8));
     let fleet = report.shards.expect("fleet stats present");
     assert_eq!(fleet.shards.iter().filter(|s| s.samples > 0).count(), 3);
     assert_eq!(fleet.shards.iter().filter(|s| s.busy_cycles == 0.0).count(), 5);
@@ -112,11 +117,13 @@ proptest! {
             seed,
             mode: WorkloadMode::Synthetic,
         };
-        let sharded = engine.run_sharded(&AnalyticBackend, &config, shards);
+        let plan = engine.compile(&config);
+        let mut session = plan.open_session();
+        let sharded = session.infer(&Request::batch(batch).with_shards(shards));
         let fleet = sharded.shards.clone().expect("fleet stats present");
         prop_assert_eq!(fleet.shards.len(), shards);
         prop_assert_eq!(fleet.shards.iter().map(|s| s.samples).sum::<u64>(), batch as u64);
-        let sequential = engine.run_sequential(&AnalyticBackend, &config);
+        let sequential = session.infer(&Request::batch(batch).sequential());
         prop_assert_eq!(sharded.without_shard_stats(), sequential);
     }
 }

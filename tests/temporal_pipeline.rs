@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use snitch_arch::{ClusterConfig, CostModel};
 use snitch_sim::{execute_program, ClusterModel};
 use spikestream::{
-    CycleLevelBackend, Engine, ExecutionBackend, FpFormat, InferenceConfig, KernelVariant,
+    CycleLevelBackend, Engine, ExecutionBackend, FpFormat, InferenceConfig, KernelVariant, Request,
     TemporalEncoding, TimingModel,
 };
 use spikestream_ir::CostIntegrator;
@@ -217,14 +217,17 @@ fn temporal_runs_are_shard_count_invariant() {
     let engine = Engine::new(tiny_network(5), FiringProfile::uniform(3, 0.25));
     for encoding in [TemporalEncoding::Rate, TemporalEncoding::Direct] {
         let config = temporal_config(TimingModel::CycleLevel, 5, encoding);
-        let sequential = engine.run_sequential(&CycleLevelBackend, &config);
+        let plan = engine.compile(&config);
+        let mut session = plan.open_session();
+        let batch = config.batch;
+        let sequential = session.infer(&Request::batch(batch).sequential());
         assert_eq!(sequential.timesteps.as_ref().map(Vec::len), Some(TIMESTEPS));
 
-        let parallel = engine.run(&config);
+        let parallel = session.infer(&Request::batch(batch));
         assert_eq!(parallel.to_json(), sequential.to_json(), "{encoding}: parallel fan-out");
 
         for shards in [1, 2, 4] {
-            let sharded = engine.run_sharded(&CycleLevelBackend, &config, shards);
+            let sharded = session.infer(&Request::batch(batch).with_shards(shards));
             assert_eq!(sharded.shards.as_ref().unwrap().shards.len(), shards);
             let stripped = sharded.without_shard_stats();
             assert_eq!(stripped, sequential, "{encoding}: {shards} shards");
@@ -240,7 +243,7 @@ fn temporal_runs_are_shard_count_invariant() {
 fn temporal_firing_rates_warm_up_from_rest() {
     let engine = Engine::new(tiny_network(11), FiringProfile::uniform(3, 0.25));
     let config = temporal_config(TimingModel::CycleLevel, 4, TemporalEncoding::Rate);
-    let report = engine.run(&config);
+    let report = engine.compile(&config).run();
     let steps = report.timesteps.as_ref().expect("temporal breakdown");
     assert_eq!(steps.len(), TIMESTEPS);
     // conv2's input is conv1's output: silent at rest, active once the
