@@ -1,0 +1,58 @@
+//! Microbench of the bit-packed spike-map operations: packing, popcount
+//! firing rates, CSR refill, and word iteration at the spike densities the
+//! S-VGG11 layers actually exhibit (roughly 1%–30%). These pin the
+//! word-parallel win independently of the end-to-end pipeline benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spikestream_snn::tensor::{SpikeMap, TensorShape};
+use spikestream_snn::CompressedIfmap;
+use std::time::Duration;
+
+/// A 34x34x64 map (the padded early S-VGG11 ifmap) at the given density.
+fn map_at_density(density: f64, seed: u64) -> SpikeMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SpikeMap::from_fn(TensorShape::new(34, 34, 64), |_| rng.gen_bool(density))
+}
+
+fn bench(c: &mut Criterion) {
+    let shape = TensorShape::new(34, 34, 64);
+    let densities = [(0.01, "1pct"), (0.10, "10pct"), (0.30, "30pct")];
+
+    for &(density, tag) in &densities {
+        let map = map_at_density(density, 0x5EED ^ tag.len() as u64);
+        let bools = map.to_bools();
+
+        // Packing one bool per neuron into words (the from_vec path).
+        c.bench_function(format!("pack_from_bools_{tag}"), |b| {
+            b.iter(|| SpikeMap::from_vec(shape, std::hint::black_box(&bools).clone()))
+        });
+
+        // Popcount firing rate over the packed words.
+        c.bench_function(format!("popcount_firing_rate_{tag}"), |b| {
+            b.iter(|| std::hint::black_box(&map).firing_rate())
+        });
+
+        // CSR refill: the per-sample hot path of the serving pipeline.
+        let mut csr = CompressedIfmap::from_spike_map(&map);
+        c.bench_function(format!("csr_refill_{tag}"), |b| {
+            b.iter(|| csr.refill_from(std::hint::black_box(&map)))
+        });
+
+        // Trailing-zeros iteration over all active indices.
+        c.bench_function(format!("word_iterate_{tag}"), |b| {
+            b.iter(|| std::hint::black_box(&map).iter_active().sum::<usize>())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

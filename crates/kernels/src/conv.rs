@@ -43,6 +43,10 @@ const CODE_REGION_CONV_BASELINE: CodeRegion = CodeRegion { id: 0x10, bytes: 1280
 const CODE_REGION_CONV_SPIKESTREAM: CodeRegion = CodeRegion { id: 0x11, bytes: 1792 };
 pub(crate) const CODE_REGION_ACTIVATION: CodeRegion = CodeRegion { id: 0x12, bytes: 640 };
 
+/// Widest SIMD group any format produces (FP8 lanes on the 64-bit
+/// datapath); bounds the stack-allocated lane accumulators of the emitters.
+pub(crate) const MAX_SIMD_LANES: usize = (snitch_arch::fp::FPU_DATAPATH_BITS / 8) as usize;
+
 /// Functional and structural result of one convolutional layer invocation.
 #[derive(Debug, Clone)]
 pub struct ConvKernelOutput {
@@ -186,6 +190,11 @@ impl ConvKernel {
         let mut currents = Tensor3::zeros(out_shape);
         let mut spikes = SpikeMap::silent(out_shape);
         let mut items = Vec::with_capacity(out_shape.h * out_shape.w);
+        // Weights are static across the layer: round them to the storage
+        // format once instead of per (spike, lane) inside the RF loop.
+        let qweights: Vec<f32> = layer.weights.iter().map(|&w| self.format.quantize(w)).collect();
+        let mut rf_active: Vec<&[u16]> = Vec::with_capacity(spec.kh * spec.kw);
+        let mut rf_indices: Vec<IndexStream> = Vec::with_capacity(spec.kh * spec.kw);
 
         for oh in 0..out_shape.h {
             for ow in 0..out_shape.w {
@@ -195,16 +204,17 @@ impl ConvKernel {
                 // plus one shared gather-index list per position (every SIMD
                 // group streams through the same indices, so the program
                 // holds each list once).
-                let rf_active: Vec<&[u16]> = (0..spec.kh * spec.kw)
-                    .map(|k| {
-                        let (kh, kw) = (k / spec.kw, k % spec.kw);
-                        input.active_at(oh * spec.stride + kh, ow * spec.stride + kw)
-                    })
-                    .collect();
-                let rf_indices: Vec<IndexStream> = rf_active
-                    .iter()
-                    .map(|active| IndexStream::exact(active.iter().map(|&c| c as u32)))
-                    .collect();
+                rf_active.clear();
+                rf_active.extend((0..spec.kh * spec.kw).map(|k| {
+                    let (kh, kw) = (k / spec.kw, k % spec.kw);
+                    input.active_at(oh * spec.stride + kh, ow * spec.stride + kw)
+                }));
+                rf_indices.clear();
+                rf_indices.extend(
+                    rf_active
+                        .iter()
+                        .map(|active| IndexStream::exact(active.iter().map(|&c| c as u32))),
+                );
 
                 for g in 0..groups {
                     self.lower_group(
@@ -212,6 +222,7 @@ impl ConvKernel {
                         layer,
                         spec,
                         input,
+                        &qweights,
                         &rf_active,
                         &rf_indices,
                         (oh, ow, g),
@@ -340,12 +351,14 @@ impl ConvKernel {
     /// Emit one SIMD output-channel group of one receptive field, updating
     /// the functional state.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn lower_group(
         &self,
         ops: &mut Vec<KernelOp>,
         layer: &Layer,
         spec: &ConvSpec,
         input: &CompressedIfmap,
+        qweights: &[f32],
         rf_active: &[&[u16]],
         rf_indices: &[IndexStream],
         rf: (usize, usize, usize),
@@ -358,6 +371,9 @@ impl ConvKernel {
     ) {
         let (oh, ow, g) = rf;
         let out_shape = spec.conv_output();
+        let lane_base = g * lanes;
+        let lane_n = lanes.min(spec.out_channels - lane_base);
+        let mut acc = [0.0f32; MAX_SIMD_LANES];
         emit::group_prologue(ops, addrs.state_base);
 
         for (k, &active) in rf_active.iter().enumerate() {
@@ -369,18 +385,13 @@ impl ConvKernel {
             emit::position_control(ops, sptr_addr);
 
             // Functional accumulation: every active input channel adds its
-            // SIMD group of weights to the group's currents.
+            // SIMD group of (channel-contiguous, pre-quantized) weights to
+            // the group's lane accumulators — same per-lane addition order
+            // as the former scalar current updates.
             for &ci in active {
-                for lane in 0..lanes {
-                    let co = g * lanes + lane;
-                    if co >= spec.out_channels {
-                        break;
-                    }
-                    let w = self
-                        .format
-                        .quantize(layer.weights[spec.weight_index(kh, kw, ci as usize, co)]);
-                    let v = currents.get(oh, ow, co) + w;
-                    currents.set(oh, ow, co, v);
+                let row = spec.weight_index(kh, kw, ci as usize, lane_base);
+                for (a, &w) in acc[..lane_n].iter_mut().zip(&qweights[row..row + lane_n]) {
+                    *a += w;
                 }
             }
 
@@ -397,6 +408,10 @@ impl ConvKernel {
                     rf_indices[k].clone(),
                 ),
             });
+        }
+
+        for (lane, &v) in acc[..lane_n].iter().enumerate() {
+            currents.set(oh, ow, lane_base + lane, v);
         }
 
         // Fused LIF activation of the group (Section III-B/III-C): decay and

@@ -141,34 +141,41 @@ impl DenseEncodingKernel {
         let mut currents = Tensor3::zeros(out_shape);
         let mut spikes = SpikeMap::silent(out_shape);
         let mut items = Vec::with_capacity(out_shape.h * out_shape.w);
+        // Weights are static across the layer: round them to the storage
+        // format once instead of per (pixel, lane) in the position loop.
+        let qweights: Vec<f32> = layer.weights.iter().map(|&w| self.format.quantize(w)).collect();
+        let mut acc = vec![0.0f32; spec.out_channels];
 
         for oh in 0..out_shape.h {
             for ow in 0..out_shape.w {
-                let mut ops = emit::claim();
-                for g in 0..groups {
-                    // Functional dot product for each lane of the group.
-                    for kh in 0..spec.kh {
-                        for kw in 0..spec.kw {
-                            for ci in 0..spec.input.c {
-                                let x = image.get(oh * spec.stride + kh, ow * spec.stride + kw, ci);
-                                if x == 0.0 {
-                                    continue;
-                                }
-                                for lane in 0..lanes {
-                                    let co = g * lanes + lane;
-                                    if co >= spec.out_channels {
-                                        break;
-                                    }
-                                    let w = self
-                                        .format
-                                        .quantize(layer.weights[spec.weight_index(kh, kw, ci, co)]);
-                                    let v = currents.get(oh, ow, co) + self.format.quantize(x) * w;
-                                    currents.set(oh, ow, co, v);
-                                }
+                // Functional dot product for every output channel of this
+                // position: each nonzero input pixel adds its quantized
+                // value times the (channel-contiguous) weight row. The
+                // per-channel accumulation order matches the former
+                // per-group scalar loop exactly.
+                acc.fill(0.0);
+                for kh in 0..spec.kh {
+                    for kw in 0..spec.kw {
+                        for ci in 0..spec.input.c {
+                            let x = image.get(oh * spec.stride + kh, ow * spec.stride + kw, ci);
+                            if x == 0.0 {
+                                continue;
+                            }
+                            let qx = self.format.quantize(x);
+                            let row = spec.weight_index(kh, kw, ci, 0);
+                            let row = &qweights[row..row + spec.out_channels];
+                            for (a, &w) in acc.iter_mut().zip(row) {
+                                *a += qx * w;
                             }
                         }
                     }
+                }
+                for (co, &v) in acc.iter().enumerate() {
+                    currents.set(oh, ow, co, v);
+                }
 
+                let mut ops = emit::claim();
+                for g in 0..groups {
                     // Timing of the dot product.
                     emit::group_prologue(&mut ops, state_base);
                     ops.push(match self.variant {

@@ -18,7 +18,12 @@ use spikestream_snn::compress::INDEX_BYTES;
 /// The workload-stealing claim of one work item: the atomic `next_rf` bump
 /// plus the bookkeeping branch of the stealing loop (Fig. 2b).
 pub(crate) fn claim() -> Vec<KernelOp> {
-    vec![KernelOp::amo(0), KernelOp::branch()]
+    // Work items routinely reach dozens of ops; starting with real capacity
+    // keeps the hot lowering loops from growing the vector step by step.
+    let mut ops = Vec::with_capacity(96);
+    ops.push(KernelOp::amo(0));
+    ops.push(KernelOp::branch());
+    ops
 }
 
 /// SIMD-group prologue: load the group's membrane potentials into an FP

@@ -20,7 +20,6 @@ use spikestream_ir::{
     CachedProgram, CostIntegrator, ProgramCache, ProgramKey, SparsityBucket, StreamProgram,
     StructuralKey,
 };
-use spikestream_snn::tensor::TensorShape;
 use spikestream_snn::{
     AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, LifState, Network, SpikeMap,
     Tensor3,
@@ -498,13 +497,12 @@ impl LayerExecutor {
                 )
             }
             (LayerKind::Linear(spec), LayerInput::Spikes(spikes)) => {
-                fc.refill_from(spikes.data());
+                fc.refill_from_map(spikes);
                 if fresh {
                     state.reset_to(spec.out_features);
                 }
                 let kernel = FcKernel::new(self.variant, self.format);
                 let out = kernel.run(cluster, layer, fc, state);
-                let fired = out.spikes.iter().filter(|&&s| s).count() as u64;
                 let exec = LayerExecution {
                     input_rate: fc.spike_count() as f64 / spec.in_features as f64,
                     input_spikes: fc.spike_count() as u64,
@@ -512,10 +510,9 @@ impl LayerExecutor {
                         / spec.in_features as f64,
                     csr_footprint_bytes: fc.footprint_bytes() as f64,
                     aer_footprint_bytes: (fc.spike_count() * AerEvent::BYTES) as f64,
-                    output_spikes: fired,
+                    output_spikes: out.spikes.count_spikes() as u64,
                 };
-                let map = SpikeMap::from_vec(TensorShape::new(1, 1, spec.out_features), out.spikes);
-                (exec, map)
+                (exec, out.spikes)
             }
             (LayerKind::Linear(_) | LayerKind::AvgPool(_), LayerInput::Image(_)) => {
                 panic!("fully connected and pooling layers consume spikes, not dense images")

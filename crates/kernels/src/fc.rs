@@ -12,7 +12,9 @@ use snitch_arch::fp::FpFormat;
 use snitch_arch::ClusterConfig;
 use snitch_sim::{execute_program, ClusterModel};
 use spikestream_ir::{CodeRegion, ComputePhase, IndexStream, Phase, StreamProgram, WorkItem};
-use spikestream_snn::{CompressedFcInput, Layer, LayerKind, LifState, LinearSpec};
+use spikestream_snn::{
+    CompressedFcInput, Layer, LayerKind, LifState, LinearSpec, SpikeMap, TensorShape,
+};
 
 use crate::emit;
 use crate::tiling::TilingPlanner;
@@ -26,8 +28,8 @@ const CODE_REGION_FC_SPIKESTREAM: CodeRegion = CodeRegion { id: 0x21, bytes: 115
 pub struct FcKernelOutput {
     /// Input currents of every output neuron (quantized to the format).
     pub currents: Vec<f32>,
-    /// Output spikes.
-    pub spikes: Vec<bool>,
+    /// Output spikes, packed as a `(1, 1, out_features)` map.
+    pub spikes: SpikeMap,
     /// Compressed form of the output spikes.
     pub compressed: CompressedFcInput,
 }
@@ -117,25 +119,24 @@ impl FcKernel {
         }
 
         let mut currents = vec![0.0f32; spec.out_features];
-        let mut spikes = vec![false; spec.out_features];
+        let mut spikes = SpikeMap::silent(TensorShape::new(1, 1, spec.out_features));
         let mut items = Vec::with_capacity(groups);
         // Every SIMD group gathers through the same active-input list; the
         // program holds it once, shared across groups.
         let idcs = IndexStream::exact(input.idcs().iter().map(|&i| i as u32));
 
-        for g in 0..groups {
-            // Functional accumulation for the group.
-            for &i in input.idcs() {
-                for lane in 0..lanes {
-                    let o = g * lanes + lane;
-                    if o >= spec.out_features {
-                        break;
-                    }
-                    let w = self.format.quantize(layer.weights[spec.weight_index(i as usize, o)]);
-                    currents[o] += w;
-                }
+        // Functional accumulation: every active input feature adds its
+        // (output-contiguous) weight row, quantized on the fly — the same
+        // per-output addition order as the former per-group scalar loop.
+        for &i in input.idcs() {
+            let row = spec.weight_index(i as usize, 0);
+            let row = &layer.weights[row..row + spec.out_features];
+            for (c, &w) in currents.iter_mut().zip(row) {
+                *c += self.format.quantize(w);
             }
+        }
 
+        for g in 0..groups {
             let mut ops = emit::claim();
             emit::group_prologue(&mut ops, state_base);
             if s_len > 0 {
@@ -161,7 +162,7 @@ impl FcKernel {
                 emit::lane_unpack(&mut ops);
                 let current = self.format.quantize(currents[o]);
                 if state.step_single(&layer.lif, o, current) {
-                    spikes[o] = true;
+                    spikes.set(0, 0, o, true);
                     emit::fired_update(&mut ops, idcs_base, idcs_base);
                 }
             }
@@ -173,7 +174,7 @@ impl FcKernel {
             program.push(Phase::Dma(dma));
         }
 
-        let compressed = CompressedFcInput::from_spikes(&spikes);
+        let compressed = CompressedFcInput::from_spike_map(&spikes);
         (program, FcKernelOutput { currents, spikes, compressed })
     }
 
@@ -291,13 +292,15 @@ mod tests {
             .run(&mut cl, &layer, &input, &mut state);
 
         let eng = ReferenceEngine::new();
-        let ref_currents = eng.linear_currents(&layer, &spec, &input.decompress());
+        let ref_input =
+            SpikeMap::from_vec(TensorShape::new(1, 1, spec.in_features), input.decompress());
+        let ref_currents = eng.linear_currents(&layer, &spec, &ref_input);
         for (a, b) in out.currents.iter().zip(ref_currents.iter()) {
             assert!((a - b).abs() < 1e-4);
         }
         let mut ref_state = LifState::new(spec.out_features);
         let ref_spikes = ref_state.step(&layer.lif, &ref_currents);
-        assert_eq!(out.spikes, ref_spikes);
+        assert_eq!(out.spikes.to_bools(), ref_spikes);
     }
 
     #[test]
@@ -352,7 +355,7 @@ mod tests {
         let mut state = LifState::new(spec.out_features);
         let out = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp8)
             .run(&mut cl, &layer, &input, &mut state);
-        assert!(out.spikes.iter().all(|&s| !s));
+        assert_eq!(out.spikes.count_spikes(), 0);
         assert_eq!(out.compressed.spike_count(), 0);
     }
 

@@ -56,6 +56,31 @@ impl BankConflictModel {
         stalls
     }
 
+    /// Conflict stalls of one indirect stream, computed without
+    /// materializing the address vectors: element `k` fetches its index at
+    /// `index_base + k * index_bytes` and gathers
+    /// `data_base + indices[k] * elem_bytes`. Exactly equivalent to
+    /// [`BankConflictModel::conflict_cycles_pairwise`] over the two
+    /// expanded address sequences.
+    pub fn conflict_cycles_indexed(
+        &self,
+        index_base: u32,
+        index_bytes: u32,
+        data_base: u32,
+        elem_bytes: u32,
+        indices: &[u32],
+    ) -> u64 {
+        let mut stalls = 0u64;
+        for (k, &idx) in indices.iter().enumerate() {
+            let index_addr = index_base + k as u32 * index_bytes;
+            let gather = data_base.wrapping_add(idx * elem_bytes);
+            if self.bank_of(index_addr) == self.bank_of(gather) {
+                stalls += 1;
+            }
+        }
+        stalls
+    }
+
     /// Conflict stalls between two interleaved address streams (for example
     /// the index fetches and the gathered weight reads of an indirect SSR),
     /// assuming one element of each stream is issued per cycle.

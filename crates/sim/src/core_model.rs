@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use snitch_arch::isa::{FpOp, StreamPattern};
 use snitch_arch::{ClusterConfig, CostModel, SsrId, TraceOp};
 use snitch_mem::BankConflictModel;
+use spikestream_ir::{IndexStream, StreamSpec};
 
 use crate::counters::PerfCounters;
 
@@ -119,6 +120,182 @@ impl WorkerCoreModel {
     pub fn exec_all(&mut self, ops: &[TraceOp]) {
         for op in ops {
             self.exec(op);
+        }
+    }
+
+    /// Execute the same integer operation `reps` times.
+    ///
+    /// Closed form of `reps` successive [`WorkerCoreModel::exec`] calls on
+    /// the same `TraceOp::Int`: integer op timing carries no
+    /// cross-iteration state, so the per-op cost multiplies exactly.
+    pub fn exec_int_repeated(&mut self, op: snitch_arch::isa::IntOp, reps: u64) {
+        self.int_time += self.cost.int_cycles(op) * reps;
+        self.counters.int_instrs += reps;
+        self.counters.int_cycles = self.int_time;
+    }
+
+    /// Execute the same non-streamed FP operation `reps` times.
+    ///
+    /// Closed form of `reps` successive [`WorkerCoreModel::exec`] calls on
+    /// the same `TraceOp::Fp` with no SSR sources. Each iteration issues
+    /// one integer slot and occupies the FPU for the op's busy cycles; once
+    /// the FPU is the bottleneck (immediately, for any busy >= 1) the
+    /// completion time advances by exactly `busy` per iteration.
+    pub fn exec_fp_repeated(&mut self, op: FpOp, format: snitch_arch::fp::FpFormat, reps: u64) {
+        if reps == 0 {
+            return;
+        }
+        let busy = self.cost.fp_cycles(op);
+        let int0 = self.int_time;
+        self.int_time += reps;
+        self.counters.int_instrs += reps;
+        self.fpu_time = if busy >= 1 {
+            // First iteration starts at max(int0 + 1, fpu); every later one
+            // is FPU-bound and adds `busy`.
+            (int0 + 1).max(self.fpu_time) + reps * busy
+        } else {
+            // Zero-occupancy ops only drag the FPU clock up to the issue
+            // time of the last iteration.
+            self.fpu_time.max(self.int_time)
+        };
+        if Self::is_useful_fp(op) {
+            self.counters.fpu_busy_cycles += busy * reps;
+        }
+        self.counters.fp_instrs += reps;
+        self.counters.flops += self.flops_of(op, format.simd_lanes() as u64) * reps;
+        self.counters.int_cycles = self.int_time;
+        self.counters.fpu_last_complete = self.counters.fpu_last_complete.max(self.fpu_time);
+    }
+
+    /// Execute one `KernelOp::Stream` directly from its IR stream specs:
+    /// configure every SSR (shadowed) and run the single-FP-op FREP region
+    /// that consumes them, walking the exact index words in place.
+    ///
+    /// This is the word-parallel fast path of the stream-program
+    /// interpreter: it is cycle- and counter-exact with issuing the
+    /// equivalent `TraceOp::SsrConfig` + `TraceOp::Frep` sequence through
+    /// [`WorkerCoreModel::exec`], but never materializes a
+    /// [`StreamPattern`] (which would deep-copy every exact index list) or
+    /// a trace-op body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec is symbolic (`IndexStream::Expected`) or an
+    /// indirect stream targets an SSR without indirection support — the
+    /// same contracts as [`StreamSpec::to_pattern`] and
+    /// [`WorkerCoreModel::exec`].
+    pub fn exec_stream(
+        &mut self,
+        ssrs: &[(SsrId, StreamSpec)],
+        op: FpOp,
+        format: snitch_arch::fp::FpFormat,
+    ) {
+        // SSR configuration, shadowed: the CSR writes of every pattern
+        // dimension, exactly as `config_ssr`. The pending slot is cleared
+        // rather than filled — this stream consumes its own configuration
+        // immediately below.
+        let mut reps = 0u64;
+        for (ssr, spec) in ssrs {
+            if matches!(spec, StreamSpec::Indirect { .. }) && !ssr.supports_indirect() {
+                panic!("SSR {ssr:?} does not support indirect streams");
+            }
+            let writes = match spec {
+                StreamSpec::Affine { strides, .. } => 2 + 2 * strides.len() as u64,
+                StreamSpec::Indirect { .. } => 4,
+            };
+            self.int_time += writes * self.cost.ssr_config_write;
+            self.counters.int_instrs += writes;
+            self.counters.ssr_configs += 1;
+            self.ssr_pending[ssr.index()] = None;
+            reps = reps.max(Self::spec_length(spec));
+        }
+        if reps == 0 {
+            self.counters.int_cycles = self.int_time;
+            return;
+        }
+
+        // The FREP region, exactly as `exec_frep` over a one-op body.
+        self.int_time += self.cost.frep_launch;
+        self.counters.int_instrs += 1;
+        self.retire_completed_freps();
+        if self.outstanding_freps.len() >= MAX_OUTSTANDING_FREPS {
+            let oldest = self.outstanding_freps.pop_front().expect("non-empty");
+            if oldest > self.int_time {
+                self.counters.stall_sequencer_full += oldest - self.int_time;
+                self.int_time = oldest;
+            }
+        }
+
+        let stream_ready = self.int_time;
+        let mut conflict_stalls = 0u64;
+        let mut elements = 0u64;
+        let mut stream_interval: f64 = 1.0;
+        for (_, spec) in ssrs {
+            let (interval, accesses_per_element) = match spec {
+                StreamSpec::Affine { .. } => (self.cost.affine_stream_interval, 1.0),
+                StreamSpec::Indirect { .. } => (self.cost.indirect_stream_interval, 2.0),
+            };
+            stream_interval = stream_interval.max(interval);
+            if let StreamSpec::Indirect {
+                index_base,
+                index_bytes,
+                data_base,
+                elem_bytes,
+                indices: IndexStream::Exact(idcs),
+            } = spec
+            {
+                conflict_stalls += self.banks.conflict_cycles_indexed(
+                    *index_base,
+                    *index_bytes,
+                    *data_base,
+                    *elem_bytes,
+                    idcs,
+                );
+            }
+            let elems = Self::spec_length(spec);
+            let expected = elems as f64 * accesses_per_element * self.cross_conflict_per_access
+                + self.conflict_carry;
+            let cross = expected.floor() as u64;
+            self.conflict_carry = expected - cross as f64;
+            conflict_stalls += cross;
+            elements += elems;
+        }
+
+        let total_issue = self.cost.fp_cycles(op) * reps;
+        let total_occupancy = (total_issue as f64 * stream_interval).ceil() as u64;
+        let start = self.int_time.max(self.fpu_time).max(stream_ready);
+        let busy_end = start
+            + self.cost.fpu_latency
+            + self.cost.stream_startup
+            + total_occupancy
+            + conflict_stalls;
+
+        self.fpu_time = busy_end;
+        self.counters.fpu_busy_cycles += total_issue;
+        self.counters.stall_bank_conflict += conflict_stalls;
+        self.counters.fp_instrs += reps;
+        self.counters.flops += self.flops_of(op, format.simd_lanes() as u64) * reps;
+        self.counters.stream_elements += elements;
+        for (ssr, _) in ssrs {
+            self.ssr_busy_until[ssr.index()] = busy_end;
+        }
+        self.outstanding_freps.push_back(busy_end);
+        self.counters.int_cycles = self.int_time;
+        self.counters.fpu_last_complete = self.counters.fpu_last_complete.max(self.fpu_time);
+    }
+
+    /// Exact element count of a stream spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on symbolic streams, like [`StreamSpec::to_pattern`].
+    fn spec_length(spec: &StreamSpec) -> u64 {
+        match spec {
+            StreamSpec::Affine { bounds, .. } => bounds.iter().map(|&b| b as u64).product(),
+            StreamSpec::Indirect { indices: IndexStream::Exact(v), .. } => v.len() as u64,
+            StreamSpec::Indirect { indices: IndexStream::Expected(_), .. } => {
+                panic!("symbolic streams cannot be interpreted, only integrated")
+            }
         }
     }
 
@@ -362,14 +539,17 @@ impl WorkerCoreModel {
                 accesses_per_element = 1.0;
                 own_conflicts = 0;
             }
-            StreamPattern::Indirect { index_base, index_bytes, .. } => {
+            StreamPattern::Indirect { index_base, index_bytes, data_base, elem_bytes, indices } => {
                 // Each element needs an index fetch plus a gather; when both
                 // land in the same bank the data mover loses a cycle.
                 accesses_per_element = 2.0;
-                let gathers = pattern.data_addresses();
-                let index_addrs: Vec<u32> =
-                    (0..gathers.len() as u32).map(|i| index_base + i * index_bytes).collect();
-                own_conflicts = self.banks.conflict_cycles_pairwise(&index_addrs, &gathers);
+                own_conflicts = self.banks.conflict_cycles_indexed(
+                    *index_base,
+                    *index_bytes,
+                    *data_base,
+                    *elem_bytes,
+                    indices,
+                );
             }
         }
         // Cross-core interference, accumulated fractionally so short streams

@@ -86,17 +86,11 @@ fn compute_time(cluster: &ClusterModel) -> u64 {
 
 fn exec_op(core: &mut WorkerCoreModel, op: &KernelOp, format: FpFormat) {
     match op {
-        KernelOp::Int { op, addr, reps } => {
-            let trace = TraceOp::Int { op: *op, addr: *addr };
-            for _ in 0..int_reps(*reps) {
-                core.exec(&trace);
-            }
+        KernelOp::Int { op, addr: _, reps } => {
+            core.exec_int_repeated(*op, int_reps(*reps));
         }
-        KernelOp::Fp { op, addr, reps } => {
-            let trace = TraceOp::Fp { op: *op, format, ssr_srcs: Vec::new(), addr: *addr };
-            for _ in 0..int_reps(*reps) {
-                core.exec(&trace);
-            }
+        KernelOp::Fp { op, addr: _, reps } => {
+            core.exec_fp_repeated(*op, format, int_reps(*reps));
         }
         KernelOp::Loop { body, reps } => {
             let reps = int_reps(*reps);
@@ -113,22 +107,7 @@ fn exec_op(core: &mut WorkerCoreModel, op: &KernelOp, format: FpFormat) {
                 }
             }
         }
-        KernelOp::Stream { ssrs, op } => {
-            let mut srcs = Vec::with_capacity(ssrs.len());
-            let mut reps = 0u64;
-            for (ssr, spec) in ssrs {
-                let pattern = spec.to_pattern();
-                reps = reps.max(pattern.length());
-                core.exec(&TraceOp::SsrConfig { ssr: *ssr, pattern, shadow: true });
-                srcs.push(*ssr);
-            }
-            if reps > 0 {
-                core.exec(&TraceOp::Frep {
-                    reps: reps as u32,
-                    body: vec![TraceOp::Fp { op: *op, format, ssr_srcs: srcs, addr: None }],
-                });
-            }
-        }
+        KernelOp::Stream { ssrs, op } => core.exec_stream(ssrs, *op, format),
         KernelOp::Barrier => core.exec(&TraceOp::Barrier),
     }
 }

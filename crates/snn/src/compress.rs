@@ -64,16 +64,23 @@ impl CompressedIfmap {
         self.shape = shape;
         self.c_idcs.clear();
         self.s_ptr.clear();
-        self.s_ptr.reserve(shape.h * shape.w + 1);
+        let positions = shape.h * shape.w;
+        self.s_ptr.reserve(positions + 1);
         self.s_ptr.push(0);
-        for h in 0..shape.h {
-            for w in 0..shape.w {
-                for c in map.active_channels(h, w) {
-                    self.c_idcs.push(c as u16);
-                }
+        // One trailing-zeros scan over the packed words; the position
+        // boundary (every `c` bits) is advanced amortized-O(1) per spike,
+        // closing out each passed fiber with its running spike count.
+        let c = shape.c;
+        let mut next_boundary = c;
+        for idx in map.iter_active() {
+            while idx >= next_boundary {
                 self.s_ptr.push(self.c_idcs.len() as u32);
+                next_boundary += c;
             }
+            self.c_idcs.push((idx - (next_boundary - c)) as u16);
         }
+        let total = self.c_idcs.len() as u32;
+        self.s_ptr.resize(positions + 1, total);
     }
 
     /// Reconstruct the dense binary spike map.
@@ -189,6 +196,34 @@ impl CompressedFcInput {
         self.idcs.extend(spikes.iter().enumerate().filter_map(|(i, &s)| s.then_some(i as u16)));
     }
 
+    /// Compress a packed spike map flattened to FC input order (HWC linear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map holds more than `u16::MAX + 1` neurons.
+    pub fn from_spike_map(map: &SpikeMap) -> Self {
+        let mut out = CompressedFcInput { in_features: 0, idcs: Vec::new() };
+        out.refill_from_map(map);
+        out
+    }
+
+    /// Recompress a packed spike map into this buffer, reusing the index
+    /// allocation — the word-parallel twin of [`refill_from`], driven by a
+    /// trailing-zeros scan instead of a per-element walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map holds more than `u16::MAX + 1` neurons.
+    ///
+    /// [`refill_from`]: CompressedFcInput::refill_from
+    pub fn refill_from_map(&mut self, map: &SpikeMap) {
+        let n = map.shape().len();
+        assert!(n <= u16::MAX as usize + 1, "FC input too large for 16-bit indices");
+        self.in_features = n;
+        self.idcs.clear();
+        self.idcs.extend(map.iter_active().map(|i| i as u16));
+    }
+
     /// Reconstruct the dense boolean vector.
     pub fn decompress(&self) -> Vec<bool> {
         let mut out = vec![false; self.in_features];
@@ -283,17 +318,15 @@ impl AerFrame {
             shape.c
         );
         let mut events = Vec::new();
-        for h in 0..shape.h {
-            for w in 0..shape.w {
-                for c in map.active_channels(h, w) {
-                    events.push(AerEvent {
-                        y: h as u16,
-                        x: w as u16,
-                        channel: c as u16,
-                        timestamp,
-                    });
-                }
-            }
+        let row = shape.w * shape.c;
+        for idx in map.iter_active() {
+            let rem = idx % row;
+            events.push(AerEvent {
+                y: (idx / row) as u16,
+                x: (rem / shape.c) as u16,
+                channel: (rem % shape.c) as u16,
+                timestamp,
+            });
         }
         AerFrame { shape, events }
     }

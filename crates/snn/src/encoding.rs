@@ -105,20 +105,16 @@ impl<'a> TemporalEncoder<'a> {
     /// of temporal runs.
     pub fn encode_step_spikes(&self, step: usize) -> SpikeMap {
         let shape = self.image.shape();
+        let data = self.image.data();
         match self.encoding {
             TemporalEncoding::Rate => {
+                // `from_fn` visits linear indices in ascending order, so the
+                // per-pixel RNG draw sequence is identical to the unpacked
+                // representation — the packing is bit-transparent.
                 let mut rng = self.step_rng(step);
-                let spikes = self
-                    .image
-                    .data()
-                    .iter()
-                    .map(|&v| rng.gen::<f32>() < v.clamp(0.0, 1.0))
-                    .collect();
-                SpikeMap::from_vec(shape, spikes)
+                SpikeMap::from_fn(shape, |i| rng.gen::<f32>() < data[i].clamp(0.0, 1.0))
             }
-            TemporalEncoding::Direct => {
-                SpikeMap::from_vec(shape, self.image.data().iter().map(|&v| v != 0.0).collect())
-            }
+            TemporalEncoding::Direct => SpikeMap::from_fn(shape, |i| data[i] != 0.0),
         }
     }
 
@@ -146,16 +142,20 @@ pub fn pad_image(image: &Tensor3, padding: usize) -> Tensor3 {
 /// Pad a spike map with a silent border of `padding` positions.
 pub fn pad_spikes(map: &SpikeMap, padding: usize) -> SpikeMap {
     let s = map.shape();
+    if padding == 0 {
+        return map.clone();
+    }
     let padded_shape = TensorShape::new(s.h + 2 * padding, s.w + 2 * padding, s.c);
     let mut out = SpikeMap::silent(padded_shape);
+    // Each input row is one contiguous run of w*c bits; copy it word-wise
+    // into its shifted offset in the padded map.
+    let row_bits = s.w * s.c;
+    let mut row = vec![0u64; row_bits.div_ceil(64)];
     for h in 0..s.h {
-        for w in 0..s.w {
-            for c in 0..s.c {
-                if map.get(h, w, c) {
-                    out.set(h + padding, w + padding, c, true);
-                }
-            }
-        }
+        row.fill(0);
+        map.or_range_into(h * row_bits, row_bits, &mut row);
+        let start = ((h + padding) * padded_shape.w + padding) * s.c;
+        out.or_range_from(start, row_bits, &row);
     }
     out
 }
@@ -170,9 +170,8 @@ pub fn direct_encode(image: &Tensor3) -> &Tensor3 {
 /// Poisson rate encoding: each pixel spikes with probability equal to its
 /// normalized intensity at every timestep.
 pub fn poisson_encode<R: Rng>(image: &Tensor3, rng: &mut R) -> SpikeMap {
-    let shape = image.shape();
-    let spikes = image.data().iter().map(|&v| rng.gen::<f32>() < v.clamp(0.0, 1.0)).collect();
-    SpikeMap::from_vec(shape, spikes)
+    let data = image.data();
+    SpikeMap::from_fn(image.shape(), |i| rng.gen::<f32>() < data[i].clamp(0.0, 1.0))
 }
 
 /// Generate a synthetic CIFAR-10-like RGB image with smooth spatial
@@ -285,8 +284,8 @@ mod tests {
         assert_ne!(a, b, "different steps draw different spikes");
         // The tensor and spike-map views of one step agree.
         let spikes = encoder.encode_step_spikes(2);
-        for (t, s) in a.data().iter().zip(spikes.data()) {
-            assert_eq!(*t != 0.0, *s);
+        for (t, s) in a.data().iter().zip(spikes.to_bools()) {
+            assert_eq!(*t != 0.0, s);
         }
     }
 

@@ -34,7 +34,7 @@ pub use layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
 pub use model::{Network, NetworkBuilder};
 pub use neuron::{LifParams, LifState};
 pub use reference::ReferenceEngine;
-pub use tensor::{SpikeMap, Tensor3, TensorShape};
+pub use tensor::{ActiveBits, ActiveChannels, SpikeMap, Tensor3, TensorShape};
 pub use workload::{
     FiringProfile, SpikeWorkload, TemporalSparsityModel, WorkloadGenerator, WorkloadMode,
 };

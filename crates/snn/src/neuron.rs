@@ -12,6 +12,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::tensor::{SpikeMap, WORD_BITS};
+
 /// Parameters of the LIF neuron model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LifParams {
@@ -115,6 +117,41 @@ impl LifState {
         spikes
     }
 
+    /// Advance every neuron by one timestep, packing the threshold
+    /// crossings directly into the words of `out` — 64 neurons per word,
+    /// with no intermediate `bool` buffer. The temporal pipeline's no-alloc
+    /// activation path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len()` or `out.shape().len()` differs from the
+    /// population size.
+    pub fn step_into_map(&mut self, params: &LifParams, currents: &[f32], out: &mut SpikeMap) {
+        assert_eq!(currents.len(), self.membrane.len(), "current vector length mismatch");
+        assert_eq!(
+            out.shape().len(),
+            self.membrane.len(),
+            "spike map {} does not hold one bit per neuron of the population ({})",
+            out.shape(),
+            self.membrane.len(),
+        );
+        let words = out.words_mut();
+        for (word, (vs, is)) in words
+            .iter_mut()
+            .zip(self.membrane.chunks_mut(WORD_BITS).zip(currents.chunks(WORD_BITS)))
+        {
+            let mut packed = 0u64;
+            for (bit, (v, &i)) in vs.iter_mut().zip(is.iter()).enumerate() {
+                *v = *v * params.alpha + params.resistance * i;
+                if *v >= params.v_threshold {
+                    *v -= params.v_reset;
+                    packed |= 1 << bit;
+                }
+            }
+            *word = packed;
+        }
+    }
+
     /// Advance one neuron (used by the per-neuron fused kernels).
     pub fn step_single(&mut self, params: &LifParams, neuron: usize, current: f32) -> bool {
         let v = &mut self.membrane[neuron];
@@ -173,6 +210,23 @@ mod tests {
         let spikes_b: Vec<bool> = (0..3).map(|n| b.step_single(&params, n, currents[n])).collect();
         assert_eq!(spikes_a, spikes_b);
         assert_eq!(a.membrane(), b.membrane());
+    }
+
+    #[test]
+    fn step_into_map_matches_vector_step() {
+        use crate::tensor::TensorShape;
+        let params = LifParams::default();
+        let n = 130; // spans two full words plus a slack word
+        let mut a = LifState::new(n);
+        let mut b = LifState::new(n);
+        let currents: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37) % 2.0).collect();
+        let mut map = SpikeMap::silent(TensorShape::new(1, 1, n));
+        for _ in 0..3 {
+            let spikes = a.step(&params, &currents);
+            b.step_into_map(&params, &currents, &mut map);
+            assert_eq!(map.to_bools(), spikes);
+            assert_eq!(a.membrane(), b.membrane());
+        }
     }
 
     #[test]

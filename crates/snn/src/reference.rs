@@ -40,7 +40,7 @@ impl ReferenceEngine {
                     for kw in 0..spec.kw {
                         let ih = oh * spec.stride + kh;
                         let iw = ow * spec.stride + kw;
-                        for ci in input.active_channels(ih, iw) {
+                        for ci in input.active_channels_iter(ih, iw) {
                             let ci = ci as usize;
                             for co in 0..spec.out_channels {
                                 let w = layer.weights[spec.weight_index(kh, kw, ci, co)];
@@ -86,13 +86,13 @@ impl ReferenceEngine {
     }
 
     /// Input currents of a fully connected layer fed with binary spikes.
-    pub fn linear_currents(&self, layer: &Layer, spec: &LinearSpec, input: &[bool]) -> Vec<f32> {
-        assert_eq!(input.len(), spec.in_features, "input length mismatch");
+    /// The input map is read in flattened HWC order, so any shape with
+    /// `in_features` total neurons is accepted; silent 64-neuron words are
+    /// skipped in one comparison each.
+    pub fn linear_currents(&self, layer: &Layer, spec: &LinearSpec, input: &SpikeMap) -> Vec<f32> {
+        assert_eq!(input.shape().len(), spec.in_features, "input length mismatch");
         let mut currents = vec![0.0f32; spec.out_features];
-        for (i, &spike) in input.iter().enumerate() {
-            if !spike {
-                continue;
-            }
+        for i in input.iter_active() {
             for (o, current) in currents.iter_mut().enumerate() {
                 *current += layer.weights[spec.weight_index(i, o)];
             }
@@ -111,8 +111,9 @@ impl ReferenceEngine {
     ) -> SpikeMap {
         let out_shape = spec.conv_output();
         assert_eq!(state.len(), out_shape.len(), "neuron state size mismatch");
-        let spikes = state.step(&layer.lif, currents.data());
-        SpikeMap::from_vec(out_shape, spikes)
+        let mut spikes = SpikeMap::silent(out_shape);
+        state.step_into_map(&layer.lif, currents.data(), &mut spikes);
+        spikes
     }
 
     /// One full convolutional layer step: currents, activation, pooling.
@@ -144,13 +145,21 @@ impl ReferenceEngine {
         avg_pool(input, spec)
     }
 
-    /// One full fully connected layer step.
-    pub fn linear_forward(&self, layer: &Layer, input: &[bool], state: &mut LifState) -> Vec<bool> {
+    /// One full fully connected layer step. The output map has shape
+    /// `(1, 1, out_features)`.
+    pub fn linear_forward(
+        &self,
+        layer: &Layer,
+        input: &SpikeMap,
+        state: &mut LifState,
+    ) -> SpikeMap {
         let LayerKind::Linear(spec) = &layer.kind else {
             panic!("linear_forward called on a non-linear layer");
         };
         let currents = self.linear_currents(layer, spec, input);
-        state.step(&layer.lif, &currents)
+        let mut spikes = SpikeMap::silent(TensorShape::new(1, 1, spec.out_features));
+        state.step_into_map(&layer.lif, &currents, &mut spikes);
+        spikes
     }
 }
 
@@ -159,8 +168,17 @@ impl ReferenceEngine {
 /// average >= 0.5).
 pub fn avg_pool(map: &SpikeMap, spec: &PoolSpec) -> SpikeMap {
     let out_shape = spec.output();
-    let mut out = SpikeMap::silent(out_shape);
     let threshold = spec.fire_threshold();
+    if spec.window == 2 {
+        // 2x2 windows always fire on >= 2 of 4 inputs; compute the majority
+        // word-parallel: extract the four channel fibers of the window and
+        // combine 64 channels per instruction.
+        debug_assert_eq!(threshold, 2);
+        return pool_2x2_words(map, out_shape, |[a, b, c, d]| {
+            (a & b) | (c & d) | ((a | b) & (c | d))
+        });
+    }
+    let mut out = SpikeMap::silent(out_shape);
     for h in 0..out_shape.h {
         for w in 0..out_shape.w {
             for c in 0..out_shape.c {
@@ -183,15 +201,41 @@ pub fn avg_pool(map: &SpikeMap, spec: &PoolSpec) -> SpikeMap {
 pub fn max_pool_2x2(map: &SpikeMap) -> SpikeMap {
     let s = map.shape();
     let out_shape = TensorShape::new(s.h / 2, s.w / 2, s.c);
+    pool_2x2_words(map, out_shape, |[a, b, c, d]| a | b | c | d)
+}
+
+/// Word-parallel 2x2 pooling: for each output position, the four input
+/// fibers of the window (each `c` contiguous bits) are gathered into word
+/// buffers and `combine` reduces them 64 channels at a time.
+fn pool_2x2_words(
+    map: &SpikeMap,
+    out_shape: TensorShape,
+    combine: impl Fn([u64; 4]) -> u64,
+) -> SpikeMap {
+    let s = map.shape();
     let mut out = SpikeMap::silent(out_shape);
+    let c = s.c;
+    let n_words = c.div_ceil(64);
+    let mut fibers = vec![0u64; 4 * n_words];
     for h in 0..out_shape.h {
         for w in 0..out_shape.w {
-            for c in 0..out_shape.c {
-                let fired = map.get(2 * h, 2 * w, c)
-                    || map.get(2 * h + 1, 2 * w, c)
-                    || map.get(2 * h, 2 * w + 1, c)
-                    || map.get(2 * h + 1, 2 * w + 1, c);
-                out.set(h, w, c, fired);
+            fibers.fill(0);
+            for (i, (dh, dw)) in [(0, 0), (0, 1), (1, 0), (1, 1)].into_iter().enumerate() {
+                let start = ((2 * h + dh) * s.w + (2 * w + dw)) * c;
+                map.or_range_into(start, c, &mut fibers[i * n_words..(i + 1) * n_words]);
+            }
+            let out_start = (h * out_shape.w + w) * c;
+            for wi in 0..n_words {
+                let word = combine([
+                    fibers[wi],
+                    fibers[n_words + wi],
+                    fibers[2 * n_words + wi],
+                    fibers[3 * n_words + wi],
+                ]);
+                if word != 0 {
+                    let bits = (c - wi * 64).min(64);
+                    out.or_range_from(out_start + wi * 64, bits, &[word]);
+                }
             }
         }
     }
@@ -263,7 +307,8 @@ mod tests {
         let mut layer = Layer::new("fc", LayerKind::Linear(spec), LifParams::default());
         layer.weights = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
         let eng = ReferenceEngine::new();
-        let currents = eng.linear_currents(&layer, &spec, &[true, false, true, false]);
+        let input = SpikeMap::from_vec(TensorShape::new(1, 1, 4), vec![true, false, true, false]);
+        let currents = eng.linear_currents(&layer, &spec, &input);
         assert_eq!(currents, vec![1.0 + 5.0, 2.0 + 6.0]);
     }
 

@@ -9,6 +9,66 @@ use spikestream_snn::tensor::{SpikeMap, TensorShape};
 use spikestream_snn::{AerFrame, CompressedFcInput, CompressedIfmap};
 
 proptest! {
+    /// The packed representation round-trips through every format we have:
+    /// `Vec<bool>` ⇄ packed words ⇄ CSR ⇄ AER, on shapes whose length sits
+    /// on the word-packing edge cases (`len % 64 ∈ {0, 1, 63}` among
+    /// others), with popcounts and active-index iteration agreeing at
+    /// every hop.
+    #[test]
+    fn packed_round_trips_across_all_representations(
+        h in 1usize..6,
+        w in 1usize..6,
+        rem_pick in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        // Shapes whose bit count lands on the packing edge cases: a
+        // multiple of 64 (no slack bits), one bit into a fresh word
+        // (63 slack bits), and one bit short of a full word (1 slack bit).
+        let rem = [0usize, 1, 63][rem_pick];
+        let shape = if rem == 0 {
+            TensorShape::new(h, w, 64) // len % 64 == 0, several full words
+        } else {
+            TensorShape::new(1, 1, 64 * h * w + rem) // len % 64 == rem
+        };
+        let mut state = seed;
+        let mut bools = Vec::with_capacity(shape.len());
+        for _ in 0..shape.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            bools.push(state >> 60 < 5);
+        }
+
+        // bools -> packed -> bools
+        let map = SpikeMap::from_vec(shape, bools.clone());
+        prop_assert_eq!(map.to_bools(), bools.clone());
+        prop_assert_eq!(map.count_spikes(), bools.iter().filter(|&&b| b).count());
+
+        // packed -> words -> packed (the serialization surface)
+        let rebuilt = SpikeMap::from_words(shape, map.words().to_vec());
+        prop_assert_eq!(&rebuilt, &map);
+
+        // iter_active agrees with the dense scan
+        let active: Vec<usize> = map.iter_active().collect();
+        let expected: Vec<usize> =
+            bools.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
+        prop_assert_eq!(active, expected);
+
+        // packed -> CSR -> packed
+        let csr = CompressedIfmap::from_spike_map(&map);
+        prop_assert_eq!(csr.spike_count(), map.count_spikes());
+        prop_assert_eq!(csr.decompress(), map.clone());
+
+        // packed -> AER -> packed
+        let aer = AerFrame::from_spike_map(&map, 1);
+        prop_assert_eq!(aer.events().len(), map.count_spikes());
+        prop_assert_eq!(aer.decompress(), map.clone());
+
+        // packed -> FC index array -> bools (flattened HWC order)
+        if shape.len() <= u16::MAX as usize + 1 {
+            let fc = spikestream_snn::CompressedFcInput::from_spike_map(&map);
+            prop_assert_eq!(fc.decompress(), bools);
+        }
+    }
+
     /// CSR-derived compression is lossless for any spike pattern.
     #[test]
     fn csr_compression_round_trips(

@@ -74,7 +74,7 @@ fn chained_inference_matches_the_reference_engine() {
         reference.conv_forward(&layers[1], &pad_spikes(&ref_out1, spec2.padding), &mut ref_state2);
 
     let mut ref_state3 = LifState::new(spec3.out_features);
-    let ref_out3 = reference.linear_forward(&layers[2], ref_out2.data(), &mut ref_state3);
+    let ref_out3 = reference.linear_forward(&layers[2], &ref_out2, &mut ref_state3);
 
     // --- Kernel chain (SpikeStream, FP32 so results are exact) -------------
     let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
@@ -102,7 +102,7 @@ fn chained_inference_matches_the_reference_engine() {
     let layer2_cycles = cluster.finish_phase("conv2").compute_cycles;
     assert_eq!(out2.output, ref_out2, "conv2 output spikes");
 
-    let fc_input = CompressedFcInput::from_spikes(out2.output.data());
+    let fc_input = CompressedFcInput::from_spike_map(&out2.output);
     let mut state3 = LifState::new(spec3.out_features);
     let out3 = FcKernel::new(KernelVariant::SpikeStream, format).run(
         &mut cluster,

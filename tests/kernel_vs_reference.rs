@@ -91,7 +91,8 @@ fn fc_kernels_match_reference_and_each_other() {
     let input = CompressedFcInput::from_spikes(&spikes);
 
     let reference = ReferenceEngine::new();
-    let ref_currents = reference.linear_currents(&layer, &spec, &spikes);
+    let ref_input = SpikeMap::from_vec(TensorShape::new(1, 1, 300), spikes);
+    let ref_currents = reference.linear_currents(&layer, &spec, &ref_input);
 
     let mut results = Vec::new();
     for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {

@@ -120,7 +120,7 @@ fn temporal_chain_matches_the_reference_engine_at_every_step() {
             &pad_spikes(&ref_out1, spec2.padding),
             &mut ref_state2,
         );
-        let ref_out3 = reference.linear_forward(&layers[2], ref_out2.data(), &mut ref_state3);
+        let ref_out3 = reference.linear_forward(&layers[2], &ref_out2, &mut ref_state3);
 
         // --- kernels -------------------------------------------------------
         encoder.encode_step_into(step, &mut encoded);
@@ -152,7 +152,7 @@ fn temporal_chain_matches_the_reference_engine_at_every_step() {
 
         assert_eq!(out1, ref_out1, "step {step}: conv1 output spikes");
         assert_eq!(out2, ref_out2, "step {step}: conv2 output spikes");
-        assert_eq!(out3.data(), ref_out3.as_slice(), "step {step}: fc3 output spikes");
+        assert_eq!(out3, ref_out3, "step {step}: fc3 output spikes");
 
         // Real propagation: layer N+1 consumes exactly what layer N emitted
         // this step (silent padding adds no spikes).
