@@ -17,7 +17,7 @@ use spikestream_ir::CostIntegrator;
 use spikestream_kernels::ConvKernel;
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::{SpikeMap, TensorShape};
-use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState};
+use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, NeuronState};
 use std::time::Duration;
 
 fn setup() -> (Layer, ConvSpec, CompressedIfmap) {
@@ -57,7 +57,7 @@ fn bench(c: &mut Criterion) {
 
         group.bench_function(format!("lower_only/{variant}"), |b| {
             b.iter(|| {
-                let mut state = LifState::new(spec.conv_output().len());
+                let mut state = NeuronState::lif(spec.conv_output().len());
                 kernel.lower(&config, &layer, &input, &mut state).0.work_items()
             })
         });
@@ -66,7 +66,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut cluster =
                     snitch_sim::ClusterModel::new(config.clone(), CostModel::default());
-                let mut state = LifState::new(spec.conv_output().len());
+                let mut state = NeuronState::lif(spec.conv_output().len());
                 kernel.run(&mut cluster, &layer, &input, &mut state);
                 cluster.finish_phase("bench").cycles
             })
@@ -75,7 +75,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("symbolic_lower_and_integrate/{variant}"), |b| {
             let integrator = CostIntegrator::new(config.clone(), CostModel::default());
             b.iter(|| {
-                let program = kernel.lower_symbolic(&config, "bench", &spec, 0.25, 0.2);
+                let program = kernel.lower_symbolic(&config, "bench", &spec, &layer.neuron, 0.25, 0.2);
                 integrator.integrate(&program).compute_cycles
             })
         });

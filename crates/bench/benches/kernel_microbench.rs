@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use spikestream::{ClusterConfig, CostModel, FpFormat, KernelVariant};
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::{SpikeMap, TensorShape};
-use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState};
+use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, NeuronState};
 use std::time::Duration;
 
 fn setup() -> (Layer, ConvSpec, CompressedIfmap) {
@@ -46,7 +46,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut cluster =
                     snitch_sim::ClusterModel::new(ClusterConfig::default(), CostModel::default());
-                let mut state = LifState::new(spec.conv_output().len());
+                let mut state = NeuronState::lif(spec.conv_output().len());
                 let kernel = spikestream_kernels::ConvKernel::new(variant, FpFormat::Fp16);
                 kernel.run(&mut cluster, &layer, &input, &mut state);
                 cluster.finish_phase("bench").cycles

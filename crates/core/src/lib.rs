@@ -121,5 +121,6 @@ pub use snitch_arch::{ClusterConfig, CostModel};
 pub use spikestream_energy::{Activity, EnergyModel};
 pub use spikestream_kernels::KernelVariant;
 pub use spikestream_snn::{
-    FiringProfile, Network, TemporalEncoding, TemporalSparsityModel, WorkloadMode,
+    FiringProfile, IzhiParams, LifParams, Network, NeuronModel, TemporalEncoding,
+    TemporalSparsityModel, WorkloadMode,
 };

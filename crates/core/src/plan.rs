@@ -50,6 +50,15 @@ pub enum CompileError {
     },
     /// The configured batch size is zero.
     EmptyBatch,
+    /// A layer's neuron-model parameters fail validation.
+    InvalidNeuronParams {
+        /// Name of the offending layer.
+        layer: String,
+        /// Model spelling (`lif` | `izhikevich`).
+        model: &'static str,
+        /// The parameter-level failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -60,6 +69,9 @@ impl std::fmt::Display for CompileError {
                 "firing profile covers {rates} layers but network `{network}` has {layers}"
             ),
             CompileError::EmptyBatch => write!(f, "batch must be at least 1"),
+            CompileError::InvalidNeuronParams { layer, model, message } => {
+                write!(f, "layer `{layer}` has invalid {model} parameters: {message}")
+            }
         }
     }
 }
@@ -145,7 +157,8 @@ impl Compiler {
     /// # Errors
     ///
     /// Returns a [`CompileError`] when the profile does not cover the
-    /// network or the batch is empty.
+    /// network, the batch is empty, or any layer carries invalid
+    /// neuron-model parameters.
     pub fn compile(self, config: InferenceConfig) -> Result<Plan, CompileError> {
         let Compiler { network, profile, cluster, cost, energy, backend } = self;
         if profile.len() < network.len() {
@@ -157,6 +170,15 @@ impl Compiler {
         }
         if config.batch == 0 {
             return Err(CompileError::EmptyBatch);
+        }
+        for layer in network.layers() {
+            if let Err(message) = layer.neuron.validate() {
+                return Err(CompileError::InvalidNeuronParams {
+                    layer: layer.name.clone(),
+                    model: layer.neuron.as_str(),
+                    message,
+                });
+            }
         }
         let backend = backend.unwrap_or_else(|| backend_for(config.timing));
 
@@ -331,6 +353,38 @@ mod tests {
             ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
         };
         assert_eq!(compiler.compile(config).unwrap_err(), CompileError::EmptyBatch);
+    }
+
+    #[test]
+    fn compile_rejects_invalid_neuron_parameters() {
+        use spikestream_snn::{IzhiParams, LifParams, NeuronModel};
+
+        let mut network = Network::svgg11(1);
+        network
+            .set_neuron_model(NeuronModel::Lif(LifParams { alpha: 1.5, ..LifParams::default() }));
+        let err = Compiler::new(network, FiringProfile::paper_svgg11())
+            .compile(InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16))
+            .unwrap_err();
+        match &err {
+            CompileError::InvalidNeuronParams { layer, model, message } => {
+                assert_eq!(*model, "lif");
+                assert!(!layer.is_empty());
+                assert!(message.contains("alpha"), "{message}");
+            }
+            other => panic!("expected InvalidNeuronParams, got {other:?}"),
+        }
+        assert!(err.to_string().contains("invalid lif parameters"), "{err}");
+
+        let mut network = Network::svgg11(1);
+        network.set_neuron_model(NeuronModel::Izhikevich(IzhiParams {
+            v_threshold: -80.0,
+            ..IzhiParams::regular_spiking()
+        }));
+        let err = Compiler::new(network, FiringProfile::paper_svgg11())
+            .compile(InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16))
+            .unwrap_err();
+        assert!(err.to_string().contains("invalid izhikevich parameters"), "{err}");
+        assert!(err.to_string().contains("reset potential"), "{err}");
     }
 
     #[test]

@@ -23,10 +23,20 @@
 //! # the synthetic single-shot path to a real T-timestep inference.
 //! timesteps = 4
 //! encoding  = "rate"          # rate | direct
+//!
+//! # Optional neuron-model override applied to every layer of the network.
+//! [neuron_model]
+//! model       = "izhikevich"  # lif | izhikevich
+//! a           = 0.02          # izhikevich: a b c d v_threshold
+//! b           = 0.2           # lif:        alpha resistance v_threshold v_reset
+//! c           = -65.0
+//! d           = 8.0
+//! v_threshold = 30.0
 //! ```
 //!
 //! The parser is hand-rolled (no external TOML dependency) and rejects
-//! anything outside the subset with a line-numbered error.
+//! anything outside the subset with a line-numbered error; unknown keys
+//! and sections additionally name the nearest valid spelling.
 //!
 //! # Example
 //!
@@ -51,8 +61,8 @@ use spikestream_kernels::KernelVariant;
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
 use spikestream_snn::{
-    ConvSpec, FiringProfile, LinearSpec, Network, NetworkBuilder, PoolSpec, TemporalEncoding,
-    WorkloadMode,
+    ConvSpec, FiringProfile, IzhiParams, LinearSpec, Network, NetworkBuilder, NeuronModel,
+    PoolSpec, TemporalEncoding, WorkloadMode,
 };
 
 use crate::engine::{Engine, InferenceConfig, TimingModel};
@@ -189,6 +199,10 @@ pub struct Scenario {
     pub config: InferenceConfig,
     /// Number of simulated cluster shards the batch is spread over.
     pub shards: usize,
+    /// Optional neuron-model override applied to every layer (from the
+    /// `[neuron_model]` table); `None` keeps each network's built-in LIF
+    /// parameters.
+    pub neuron: Option<NeuronModel>,
 }
 
 impl Scenario {
@@ -201,6 +215,7 @@ impl Scenario {
             network: NetworkChoice::Svgg11,
             config: InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16),
             shards: 1,
+            neuron: None,
         }
     }
 
@@ -212,11 +227,23 @@ impl Scenario {
     /// subset: unknown sections or keys, malformed values, missing
     /// `[scenario]` header.
     pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Scenario,
+            NeuronModel,
+        }
+
         let mut scenario = Scenario::defaults();
-        let mut in_scenario = false;
-        let mut saw_section = false;
+        let mut section = Section::None;
+        let mut saw_scenario = false;
+        let mut saw_neuron = false;
         let mut timesteps: Option<usize> = None;
         let mut encoding: Option<TemporalEncoding> = None;
+        // `[neuron_model]` keys, collected raw and assembled after the loop
+        // so the `model` selector may appear anywhere in its table.
+        let mut neuron_choice: Option<(usize, String)> = None;
+        let mut neuron_params: Vec<(usize, String, f32)> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -224,26 +251,59 @@ impl Scenario {
             if line.is_empty() {
                 continue;
             }
-            if let Some(section) = line.strip_prefix('[') {
-                let section = section
+            if let Some(header) = line.strip_prefix('[') {
+                let name = header
                     .strip_suffix(']')
                     .ok_or_else(|| err(lineno, "unterminated section header"))?
                     .trim();
-                if section != "scenario" {
-                    return Err(err(lineno, format!("unknown section `[{section}]`")));
-                }
-                in_scenario = true;
-                saw_section = true;
+                section = match name {
+                    "scenario" => {
+                        saw_scenario = true;
+                        Section::Scenario
+                    }
+                    "neuron_model" => {
+                        saw_neuron = true;
+                        Section::NeuronModel
+                    }
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "unknown section `[{other}]` (did you mean `[{}]`?)",
+                                nearest(other, SECTION_NAMES)
+                            ),
+                        ))
+                    }
+                };
                 continue;
             }
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
-            if !in_scenario {
-                return Err(err(lineno, "keys must appear inside the `[scenario]` section"));
-            }
             let key = key.trim();
             let value = value.trim();
+            if section == Section::None {
+                return Err(err(lineno, "keys must appear inside the `[scenario]` section"));
+            }
+            if section == Section::NeuronModel {
+                match key {
+                    "model" => neuron_choice = Some((lineno, parse_string(lineno, value)?)),
+                    "alpha" | "resistance" | "v_reset" | "v_threshold" | "a" | "b" | "c" | "d" => {
+                        neuron_params.push((lineno, key.to_string(), parse_f32(lineno, value)?))
+                    }
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "unknown key `{other}` in `[neuron_model]` (did you mean \
+                                 `{}`?)",
+                                nearest(other, NEURON_KEYS)
+                            ),
+                        ))
+                    }
+                }
+                continue;
+            }
             match key {
                 "name" => scenario.name = parse_string(lineno, value)?,
                 "network" => {
@@ -333,12 +393,23 @@ impl Scenario {
                     }
                     scenario.shards = shards;
                 }
-                other => return Err(err(lineno, format!("unknown key `{other}`"))),
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "unknown key `{other}` (did you mean `{}`?)",
+                            nearest(other, SCENARIO_KEYS)
+                        ),
+                    ))
+                }
             }
         }
 
-        if !saw_section {
+        if !saw_scenario {
             return Err(err(0, "missing `[scenario]` section"));
+        }
+        if saw_neuron {
+            scenario.neuron = Some(assemble_neuron_model(neuron_choice, &neuron_params)?);
         }
         // Either temporal key switches the run to the temporal pipeline;
         // unspecified halves fall back to T = 1 / direct coding.
@@ -363,9 +434,14 @@ impl Scenario {
         Self::parse(&text)
     }
 
-    /// Build the engine this scenario describes.
+    /// Build the engine this scenario describes. A `[neuron_model]`
+    /// override replaces the built network's per-layer dynamics before the
+    /// engine is assembled, so it reaches every compile and serving path.
     pub fn engine(&self) -> Engine {
-        let (network, profile) = self.network.build(self.config.seed);
+        let (mut network, profile) = self.network.build(self.config.seed);
+        if let Some(model) = self.neuron {
+            network.set_neuron_model(model);
+        }
         Engine::new(network, profile)
     }
 
@@ -420,6 +496,111 @@ impl Scenario {
     }
 }
 
+/// Section headers the parser accepts.
+const SECTION_NAMES: &[&str] = &["scenario", "neuron_model"];
+
+/// Keys of the `[scenario]` table.
+const SCENARIO_KEYS: &[&str] = &[
+    "name",
+    "network",
+    "variant",
+    "format",
+    "timing",
+    "batch",
+    "seed",
+    "timesteps",
+    "encoding",
+    "shards",
+];
+
+/// Keys of the `[neuron_model]` table (the union of both models' fields).
+const NEURON_KEYS: &[&str] =
+    &["model", "alpha", "resistance", "v_reset", "v_threshold", "a", "b", "c", "d"];
+
+/// The candidate with the smallest edit distance to `key` — what the
+/// "did you mean" half of an unknown-key error names.
+fn nearest<'a>(key: &str, candidates: &[&'a str]) -> &'a str {
+    candidates
+        .iter()
+        .copied()
+        .min_by_key(|c| edit_distance(key, c))
+        .expect("candidate lists are non-empty")
+}
+
+/// Levenshtein distance over bytes, small-string sized.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { diag } else { diag + 1 };
+            diag = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(diag + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// Turn the collected `[neuron_model]` keys into a [`NeuronModel`],
+/// starting each model from its canonical defaults and rejecting keys
+/// that belong to the other model with a line-numbered error.
+fn assemble_neuron_model(
+    choice: Option<(usize, String)>,
+    params: &[(usize, String, f32)],
+) -> Result<NeuronModel, ScenarioError> {
+    let model = match &choice {
+        None => "lif".to_string(),
+        Some((line, name)) => match name.as_str() {
+            "lif" | "izhikevich" => name.clone(),
+            other => return Err(err(*line, format!("unknown model `{other}` (lif | izhikevich)"))),
+        },
+    };
+    if model == "lif" {
+        let mut p = LifParams::default();
+        for (line, key, value) in params {
+            match key.as_str() {
+                "alpha" => p.alpha = *value,
+                "resistance" => p.resistance = *value,
+                "v_threshold" => p.v_threshold = *value,
+                "v_reset" => p.v_reset = *value,
+                other => {
+                    return Err(err(
+                        *line,
+                        format!(
+                            "key `{other}` does not apply to the lif model \
+                             (alpha | resistance | v_threshold | v_reset)"
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(NeuronModel::Lif(p))
+    } else {
+        let mut p = IzhiParams::regular_spiking();
+        for (line, key, value) in params {
+            match key.as_str() {
+                "a" => p.a = *value,
+                "b" => p.b = *value,
+                "c" => p.c = *value,
+                "d" => p.d = *value,
+                "v_threshold" => p.v_threshold = *value,
+                other => {
+                    return Err(err(
+                        *line,
+                        format!(
+                            "key `{other}` does not apply to the izhikevich model \
+                             (a | b | c | d | v_threshold)"
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(NeuronModel::Izhikevich(p))
+    }
+}
+
 /// Strip a `#` comment, respecting quoted strings.
 fn strip_comment(line: &str) -> &str {
     let mut in_string = false;
@@ -454,6 +635,16 @@ fn parse_u64(line: usize, value: &str) -> Result<u64, ScenarioError> {
         None => cleaned.parse(),
     };
     parsed.map_err(|_| err(line, format!("expected an unsigned integer, got `{value}`")))
+}
+
+/// Parse a finite float (negative values allowed; underscores allowed as
+/// digit separators).
+fn parse_f32(line: usize, value: &str) -> Result<f32, ScenarioError> {
+    let cleaned = value.replace('_', "");
+    match cleaned.parse::<f32>() {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => Err(err(line, format!("expected a finite number, got `{value}`"))),
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +761,96 @@ shards  = 4
         assert_eq!(report.shards.as_ref().unwrap().shards.len(), 2);
         let sequential = session.infer(&Request::batch(s.config.batch).sequential());
         assert_eq!(report.without_shard_stats(), sequential);
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_name_the_nearest_valid_spelling() {
+        let e = Scenario::parse("[scenario]\nbatchh = 3\n").unwrap_err();
+        assert!(e.message.contains("unknown key `batchh`"), "{e}");
+        assert!(e.message.contains("did you mean `batch`"), "{e}");
+        let e = Scenario::parse("[scenario]\nshard = 2\n").unwrap_err();
+        assert!(e.message.contains("did you mean `shards`"), "{e}");
+        let e = Scenario::parse("[neuron-model]\n").unwrap_err();
+        assert!(e.message.contains("unknown section `[neuron-model]`"), "{e}");
+        assert!(e.message.contains("did you mean `[neuron_model]`"), "{e}");
+        let e = Scenario::parse("[scenario]\n[neuron_model]\nalhpa = 0.5\n").unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.message.contains("unknown key `alhpa` in `[neuron_model]`"), "{e}");
+        assert!(e.message.contains("did you mean `alpha`"), "{e}");
+    }
+
+    #[test]
+    fn neuron_model_table_selects_izhikevich_dynamics() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"iz\"\nnetwork = \"tiny-cnn\"\n\
+             [neuron_model]\nmodel = \"izhikevich\"\na = 0.1\nc = -60.0\n",
+        )
+        .unwrap();
+        let expected = IzhiParams { a: 0.1, c: -60.0, ..IzhiParams::regular_spiking() };
+        assert_eq!(s.neuron, Some(NeuronModel::Izhikevich(expected)));
+        // The override reaches the compiled network's layers.
+        let plan = s.compile().unwrap();
+        for layer in plan.network().layers() {
+            assert_eq!(layer.neuron, NeuronModel::Izhikevich(expected));
+        }
+    }
+
+    #[test]
+    fn neuron_model_table_tunes_lif_parameters() {
+        // `model` defaults to lif; the selector may also trail its params.
+        let s = Scenario::parse(
+            "[scenario]\nname = \"l\"\n[neuron_model]\nalpha = 0.75\nv_threshold = 2.0\n",
+        )
+        .unwrap();
+        let expected =
+            LifParams { alpha: 0.75, v_threshold: 2.0, v_reset: 1.0, ..LifParams::default() };
+        assert_eq!(s.neuron, Some(NeuronModel::Lif(expected)));
+        let trailing = Scenario::parse(
+            "[scenario]\nname = \"l\"\n[neuron_model]\nalpha = 0.75\n\
+             v_threshold = 2.0\nmodel = \"lif\"\n",
+        )
+        .unwrap();
+        assert_eq!(trailing.neuron, s.neuron);
+        // No table at all: the networks keep their built-in parameters.
+        let plain = Scenario::parse("[scenario]\nname = \"p\"\n").unwrap();
+        assert_eq!(plain.neuron, None);
+    }
+
+    #[test]
+    fn neuron_model_errors_carry_line_numbers() {
+        let cases = [
+            ("[scenario]\n[neuron_model]\nmodel = \"hodgkin\"\n", 3, "unknown model"),
+            ("[scenario]\n[neuron_model]\na = \"x\"\n", 3, "finite number"),
+            ("[scenario]\n[neuron_model]\nc = nan\n", 3, "finite number"),
+            ("[scenario]\n[neuron_model]\nmodel = lif\n", 3, "quoted string"),
+            (
+                "[scenario]\n[neuron_model]\nmodel = \"lif\"\nd = 8.0\n",
+                4,
+                "does not apply to the lif model",
+            ),
+            (
+                "[scenario]\n[neuron_model]\nmodel = \"izhikevich\"\nalpha = 0.5\n",
+                4,
+                "does not apply to the izhikevich model",
+            ),
+        ];
+        for (text, line, needle) in cases {
+            let e = Scenario::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}: {e}");
+            assert!(e.message.contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn invalid_neuron_parameters_fail_at_compile_with_a_named_layer() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"bad\"\nnetwork = \"tiny-cnn\"\n\
+             [neuron_model]\nmodel = \"izhikevich\"\nv_threshold = -80.0\n",
+        )
+        .unwrap();
+        let e = s.compile().unwrap_err();
+        assert!(e.message.contains("invalid izhikevich parameters"), "{e}");
+        assert!(e.message.contains("conv1"), "{e}");
     }
 
     #[test]

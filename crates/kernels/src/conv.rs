@@ -31,7 +31,9 @@ use spikestream_ir::{
 };
 use spikestream_snn::compress::INDEX_BYTES;
 use spikestream_snn::reference::max_pool_2x2;
-use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, SpikeMap, Tensor3};
+use spikestream_snn::{
+    CompressedIfmap, ConvSpec, Layer, LayerKind, NeuronModel, NeuronState, SpikeMap, Tensor3,
+};
 
 use crate::emit;
 use crate::tiling::TilingPlanner;
@@ -73,6 +75,9 @@ struct ConvAddresses {
     idcs_base: u32,
     sptr_base: u32,
     state_base: u32,
+    /// Base of the recovery-variable tile (upper half of the neuron-state
+    /// buffer; only dereferenced by two-variable models).
+    u_base: u32,
     weights_base: u32,
     group_words: u32,
     word_bytes: u32,
@@ -140,7 +145,7 @@ impl ConvKernel {
         cluster: &mut ClusterModel,
         layer: &Layer,
         input: &CompressedIfmap,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> ConvKernelOutput {
         let (program, output) = self.lower(cluster.config(), layer, input, state);
         execute_program(cluster, &program);
@@ -159,7 +164,7 @@ impl ConvKernel {
         config: &ClusterConfig,
         layer: &Layer,
         input: &CompressedIfmap,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> (StreamProgram, ConvKernelOutput) {
         let LayerKind::Conv(spec) = &layer.kind else {
             panic!("ConvKernel requires a convolutional layer");
@@ -171,11 +176,17 @@ impl ConvKernel {
         let lanes = self.format.simd_lanes() as usize;
         let groups = spec.out_channels.div_ceil(lanes);
 
-        let plan = TilingPlanner::new(config).plan_conv(spec, self.format, input);
+        let plan = TilingPlanner::new(config).plan_conv(
+            spec,
+            self.format,
+            input,
+            layer.neuron.state_vars(),
+        );
         let addrs = ConvAddresses {
             idcs_base: plan.ifmap_idcs.base,
             sptr_base: plan.ifmap_sptr.base,
             state_base: plan.neuron_state.base,
+            u_base: plan.neuron_state.base + (out_shape.len() * 4) as u32,
             weights_base: plan.weights.base,
             group_words: spec.input.c as u32,
             word_bytes: lanes as u32 * self.format.bytes(),
@@ -273,11 +284,14 @@ impl ConvKernel {
     /// emitter structure with a single representative receptive field
     /// replicated over all output positions, expected-length streams and
     /// expected firing counts. The analytic backend integrates the result.
+    /// `model` selects the activation head and the width of the
+    /// neuron-state tile, exactly as `layer.neuron` does in the exact path.
     pub fn lower_symbolic(
         &self,
         config: &ClusterConfig,
         label: &str,
         spec: &ConvSpec,
+        model: &NeuronModel,
         input_rate: f64,
         output_rate: f64,
     ) -> StreamProgram {
@@ -289,11 +303,17 @@ impl ConvKernel {
         let s_len = Self::expected_stream_len(spec, input_rate);
         let expected_spikes = Self::expected_ifmap_spikes(spec, input_rate);
 
-        let plan = TilingPlanner::new(config).plan_conv_spikes(spec, self.format, expected_spikes);
+        let plan = TilingPlanner::new(config).plan_conv_spikes(
+            spec,
+            self.format,
+            expected_spikes,
+            model.state_vars(),
+        );
         let addrs = ConvAddresses {
             idcs_base: plan.ifmap_idcs.base,
             sptr_base: plan.ifmap_sptr.base,
             state_base: plan.neuron_state.base,
+            u_base: plan.neuron_state.base + (out.len() * 4) as u32,
             weights_base: plan.weights.base,
             group_words: spec.input.c as u32,
             word_bytes: lanes as u32 * self.format.bytes(),
@@ -322,9 +342,9 @@ impl ConvKernel {
 
         // ... inside one representative SIMD group ...
         let mut group = Vec::new();
-        emit::group_prologue(&mut group, addrs.state_base);
+        emit::model_group_prologue(&mut group, model, addrs.state_base, addrs.u_base);
         group.push(KernelOp::Loop { body: position, reps: kk as f64 });
-        emit::activation_head(&mut group);
+        emit::model_activation_head(&mut group, model);
         emit::activation_tail_symbolic(
             &mut group,
             lanes as f64,
@@ -332,7 +352,7 @@ impl ConvKernel {
             addrs.idcs_base,
             addrs.sptr_base,
         );
-        emit::state_writeback(&mut group, addrs.state_base);
+        emit::model_state_writeback(&mut group, model, addrs.state_base, addrs.u_base);
 
         // ... inside one representative receptive field, replicated over
         // every output position.
@@ -367,14 +387,14 @@ impl ConvKernel {
         addrs: &ConvAddresses,
         currents: &mut Tensor3,
         spikes: &mut SpikeMap,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) {
         let (oh, ow, g) = rf;
         let out_shape = spec.conv_output();
         let lane_base = g * lanes;
         let lane_n = lanes.min(spec.out_channels - lane_base);
         let mut acc = [0.0f32; MAX_SIMD_LANES];
-        emit::group_prologue(ops, addrs.state_base);
+        emit::model_group_prologue(ops, &layer.neuron, addrs.state_base, addrs.u_base);
 
         for (k, &active) in rf_active.iter().enumerate() {
             let (kh, kw) = (k / spec.kw, k % spec.kw);
@@ -414,11 +434,11 @@ impl ConvKernel {
             currents.set(oh, ow, lane_base + lane, v);
         }
 
-        // Fused LIF activation of the group (Section III-B/III-C): decay and
-        // integrate on the FPU, then threshold and unpack the SIMD lanes
-        // with bit masking and branches; spiking lanes atomically update the
-        // compressed ofmap buffers.
-        emit::activation_head(ops);
+        // Fused activation of the group (Section III-B/III-C): the model's
+        // state update runs on the FPU, then threshold and unpack the SIMD
+        // lanes with bit masking and branches; spiking lanes atomically
+        // update the compressed ofmap buffers.
+        emit::model_activation_head(ops, &layer.neuron);
         for lane in 0..lanes {
             let co = g * lanes + lane;
             if co >= spec.out_channels {
@@ -427,12 +447,12 @@ impl ConvKernel {
             emit::lane_unpack(ops);
             let neuron = out_shape.index(oh, ow, co);
             let current = self.format.quantize(currents.get(oh, ow, co));
-            if state.step_single(&layer.lif, neuron, current) {
+            if state.step_single(&layer.neuron, neuron, current) {
                 spikes.set(oh, ow, co, true);
                 emit::fired_update(ops, addrs.idcs_base, addrs.sptr_base);
             }
         }
-        emit::state_writeback(ops, addrs.state_base);
+        emit::model_state_writeback(ops, &layer.neuron, addrs.state_base, addrs.u_base);
     }
 }
 
@@ -489,12 +509,12 @@ mod tests {
         let input = random_input(&spec, 0.3, 3);
         for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
             let mut cluster = cluster();
-            let mut state = LifState::new(spec.conv_output().len());
+            let mut state = NeuronState::lif(spec.conv_output().len());
             let kernel = ConvKernel::new(variant, FpFormat::Fp32);
             let out = kernel.run(&mut cluster, &layer, &input, &mut state);
 
             let eng = ReferenceEngine::new();
-            let mut ref_state = LifState::new(spec.conv_output().len());
+            let mut ref_state = NeuronState::lif(spec.conv_output().len());
             let ref_currents = eng.conv_currents(&layer, &spec, &input.decompress());
             let ref_spikes = eng.activate_conv(&layer, &spec, &ref_currents, &mut ref_state);
 
@@ -511,8 +531,8 @@ mod tests {
         let input = random_input(&spec, 0.25, 5);
         let mut c1 = cluster();
         let mut c2 = cluster();
-        let mut s1 = LifState::new(spec.conv_output().len());
-        let mut s2 = LifState::new(spec.conv_output().len());
+        let mut s1 = NeuronState::lif(spec.conv_output().len());
+        let mut s2 = NeuronState::lif(spec.conv_output().len());
         let base = ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut c1, &layer, &input, &mut s1);
         let fast = ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
@@ -529,8 +549,8 @@ mod tests {
         let input = random_input(&spec, 0.3, 7);
         let mut c1 = cluster();
         let mut c2 = cluster();
-        let mut s1 = LifState::new(spec.conv_output().len());
-        let mut s2 = LifState::new(spec.conv_output().len());
+        let mut s1 = NeuronState::lif(spec.conv_output().len());
+        let mut s2 = NeuronState::lif(spec.conv_output().len());
         ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut c1, &layer, &input, &mut s1);
         ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
@@ -554,8 +574,8 @@ mod tests {
         let input = random_input(&spec, 0.3, 9);
         let mut c16 = cluster();
         let mut c8 = cluster();
-        let mut s16 = LifState::new(spec.conv_output().len());
-        let mut s8 = LifState::new(spec.conv_output().len());
+        let mut s16 = NeuronState::lif(spec.conv_output().len());
+        let mut s8 = NeuronState::lif(spec.conv_output().len());
         ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
             .run(&mut c16, &layer, &input, &mut s16);
         ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp8)
@@ -574,7 +594,7 @@ mod tests {
         let (layer, spec) = test_layer(8, 8, 4, false);
         let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
         let mut cl = cluster();
-        let mut state = LifState::new(spec.conv_output().len());
+        let mut state = NeuronState::lif(spec.conv_output().len());
         let out = ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
             .run(&mut cl, &layer, &input, &mut state);
         assert_eq!(out.spikes.count_spikes(), 0);
@@ -588,7 +608,7 @@ mod tests {
         let (layer, spec) = test_layer(8, 8, 6, true);
         let input = random_input(&spec, 0.4, 13);
         let mut cl = cluster();
-        let mut state = LifState::new(spec.conv_output().len());
+        let mut state = NeuronState::lif(spec.conv_output().len());
         let out = ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut cl, &layer, &input, &mut state);
         assert_eq!(out.output.shape(), TensorShape::new(3, 3, 8));
@@ -601,7 +621,7 @@ mod tests {
         let (layer, spec) = test_layer(4, 4, 4, false);
         let wrong = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.input));
         let mut cl = cluster();
-        let mut state = LifState::new(spec.conv_output().len());
+        let mut state = NeuronState::lif(spec.conv_output().len());
         ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut cl, &layer, &wrong, &mut state);
     }
@@ -620,14 +640,21 @@ mod tests {
         let config = ClusterConfig::default();
         for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
             let kernel = ConvKernel::new(variant, FpFormat::Fp16);
-            let mut state = LifState::new(spec.conv_output().len());
+            let mut state = NeuronState::lif(spec.conv_output().len());
             let (program, out) = kernel.lower(&config, &layer, &input, &mut state);
             let mut cl = cluster();
             execute_program(&mut cl, &program);
             let stats = cl.finish_phase("exact");
 
             let out_rate = out.spikes.count_spikes() as f64 / spec.conv_output().len() as f64;
-            let symbolic = kernel.lower_symbolic(&config, "sym", &spec, realized_rate, out_rate);
+            let symbolic = kernel.lower_symbolic(
+                &config,
+                "sym",
+                &spec,
+                &layer.neuron,
+                realized_rate,
+                out_rate,
+            );
             let cost =
                 CostIntegrator::new(config.clone(), CostModel::default()).integrate(&symbolic);
 

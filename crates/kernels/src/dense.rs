@@ -20,7 +20,9 @@ use spikestream_ir::{
     CodeRegion, ComputePhase, DmaPhase, KernelOp, Phase, StreamProgram, WorkItem,
 };
 use spikestream_snn::reference::max_pool_2x2;
-use spikestream_snn::{CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, SpikeMap, Tensor3};
+use spikestream_snn::{
+    CompressedIfmap, ConvSpec, Layer, LayerKind, NeuronModel, NeuronState, SpikeMap, Tensor3,
+};
 
 use crate::emit;
 use crate::tiling::TilingPlanner;
@@ -86,7 +88,7 @@ impl DenseEncodingKernel {
         cluster: &mut ClusterModel,
         layer: &Layer,
         image: &Tensor3,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> DenseKernelOutput {
         let (program, output) = self.lower(cluster.config(), layer, image, state);
         execute_program(cluster, &program);
@@ -104,7 +106,7 @@ impl DenseEncodingKernel {
         config: &ClusterConfig,
         layer: &Layer,
         image: &Tensor3,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> (StreamProgram, DenseKernelOutput) {
         let LayerKind::Conv(spec) = &layer.kind else {
             panic!("DenseEncodingKernel requires a convolutional layer");
@@ -120,7 +122,12 @@ impl DenseEncodingKernel {
         // Dense ifmap tile + weights: the regular tile plan (the dense tile
         // has no compressed indices) plus the on-the-fly im2row 2D reshape
         // performed by the DMA core.
-        let plan = TilingPlanner::new(config).plan_conv_spikes(spec, self.format, 0);
+        let plan = TilingPlanner::new(config).plan_conv_spikes(
+            spec,
+            self.format,
+            0,
+            layer.neuron.state_vars(),
+        );
         let mut program = StreamProgram::new(&layer.name, self.format);
         for dma in plan.dma_in_phases() {
             program.push(Phase::Dma(dma));
@@ -136,6 +143,7 @@ impl DenseEncodingKernel {
         let weights_base = plan.weights.base;
         let input_base = plan.ifmap_idcs.base;
         let state_base = plan.neuron_state.base;
+        let u_base = state_base + (out_shape.len() * 4) as u32;
         let lane_bytes = lanes as u32 * self.format.bytes();
 
         let mut currents = Tensor3::zeros(out_shape);
@@ -177,7 +185,7 @@ impl DenseEncodingKernel {
                 let mut ops = emit::claim();
                 for g in 0..groups {
                     // Timing of the dot product.
-                    emit::group_prologue(&mut ops, state_base);
+                    emit::model_group_prologue(&mut ops, &layer.neuron, state_base, u_base);
                     ops.push(match self.variant {
                         KernelVariant::Baseline => emit::baseline_dense_dot(k_len as f64),
                         KernelVariant::SpikeStream => emit::streamed_dense_dot(
@@ -188,8 +196,8 @@ impl DenseEncodingKernel {
                         ),
                     });
 
-                    // Fused LIF activation, identical to the sparse layers.
-                    emit::activation_head(&mut ops);
+                    // Fused activation, identical to the sparse layers.
+                    emit::model_activation_head(&mut ops, &layer.neuron);
                     for lane in 0..lanes {
                         let co = g * lanes + lane;
                         if co >= spec.out_channels {
@@ -198,12 +206,12 @@ impl DenseEncodingKernel {
                         emit::lane_unpack(&mut ops);
                         let neuron = out_shape.index(oh, ow, co);
                         let current = self.format.quantize(currents.get(oh, ow, co));
-                        if state.step_single(&layer.lif, neuron, current) {
+                        if state.step_single(&layer.neuron, neuron, current) {
                             spikes.set(oh, ow, co, true);
                             emit::fired_update(&mut ops, input_base, input_base);
                         }
                     }
-                    emit::state_writeback(&mut ops, state_base);
+                    emit::model_state_writeback(&mut ops, &layer.neuron, state_base, u_base);
                 }
                 items.push(WorkItem::new(ops));
             }
@@ -220,12 +228,14 @@ impl DenseEncodingKernel {
 
     /// Symbolic lowering from the expected output firing rate (the dense
     /// input consumes every pixel, so only the activation tail is
-    /// rate-dependent).
+    /// rate-dependent). `model` selects the activation head and state-tile
+    /// width.
     pub fn lower_symbolic(
         &self,
         config: &ClusterConfig,
         label: &str,
         spec: &ConvSpec,
+        model: &NeuronModel,
         output_rate: f64,
     ) -> StreamProgram {
         let lanes = self.format.simd_lanes() as usize;
@@ -234,7 +244,8 @@ impl DenseEncodingKernel {
         let k_len = spec.kh * spec.kw * spec.input.c;
         let output_rate = output_rate.clamp(0.0, 1.0);
 
-        let plan = TilingPlanner::new(config).plan_conv_spikes(spec, self.format, 0);
+        let plan =
+            TilingPlanner::new(config).plan_conv_spikes(spec, self.format, 0, model.state_vars());
         let mut program = StreamProgram::new(label, self.format);
         for dma in plan.dma_in_phases() {
             program.push(Phase::Dma(dma));
@@ -250,17 +261,18 @@ impl DenseEncodingKernel {
         let weights_base = plan.weights.base;
         let input_base = plan.ifmap_idcs.base;
         let state_base = plan.neuron_state.base;
+        let u_base = state_base + (out.len() * 4) as u32;
         let lane_bytes = lanes as u32 * self.format.bytes();
 
         let mut group = Vec::new();
-        emit::group_prologue(&mut group, state_base);
+        emit::model_group_prologue(&mut group, model, state_base, u_base);
         group.push(match self.variant {
             KernelVariant::Baseline => emit::baseline_dense_dot(k_len as f64),
             KernelVariant::SpikeStream => {
                 emit::streamed_dense_dot(input_base, weights_base, lane_bytes, k_len as u32)
             }
         });
-        emit::activation_head(&mut group);
+        emit::model_activation_head(&mut group, model);
         emit::activation_tail_symbolic(
             &mut group,
             lanes as f64,
@@ -268,7 +280,7 @@ impl DenseEncodingKernel {
             input_base,
             input_base,
         );
-        emit::state_writeback(&mut group, state_base);
+        emit::model_state_writeback(&mut group, model, state_base, u_base);
 
         let mut ops = emit::claim();
         ops.push(KernelOp::Loop { body: group, reps: groups as f64 });
@@ -320,7 +332,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let image = pad_image(&synthetic_image(spec.input, &mut rng), spec.padding);
         let mut cl = cluster();
-        let mut state = LifState::new(spec.conv_output().len());
+        let mut state = NeuronState::lif(spec.conv_output().len());
         let out = DenseEncodingKernel::new(KernelVariant::SpikeStream, FpFormat::Fp32)
             .run(&mut cl, &layer, &image, &mut state);
 
@@ -338,8 +350,8 @@ mod tests {
         let image = pad_image(&synthetic_image(spec.input, &mut rng), spec.padding);
         let mut c1 = cluster();
         let mut c2 = cluster();
-        let mut s1 = LifState::new(spec.conv_output().len());
-        let mut s2 = LifState::new(spec.conv_output().len());
+        let mut s1 = NeuronState::lif(spec.conv_output().len());
+        let mut s2 = NeuronState::lif(spec.conv_output().len());
         DenseEncodingKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut c1, &layer, &image, &mut s1);
         DenseEncodingKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
@@ -360,8 +372,8 @@ mod tests {
         let image = pad_image(&synthetic_image(spec.input, &mut rng), spec.padding);
         let mut c1 = cluster();
         let mut c2 = cluster();
-        let mut s1 = LifState::new(spec.conv_output().len());
-        let mut s2 = LifState::new(spec.conv_output().len());
+        let mut s1 = NeuronState::lif(spec.conv_output().len());
+        let mut s2 = NeuronState::lif(spec.conv_output().len());
         let a = DenseEncodingKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut c1, &layer, &image, &mut s1);
         let b = DenseEncodingKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)

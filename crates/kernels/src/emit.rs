@@ -14,6 +14,7 @@ use snitch_arch::isa::FpOp;
 use snitch_arch::SsrId;
 use spikestream_ir::{IndexStream, KernelOp, StreamSpec};
 use spikestream_snn::compress::INDEX_BYTES;
+use spikestream_snn::NeuronModel;
 
 /// The workload-stealing claim of one work item: the atomic `next_rf` bump
 /// plus the bookkeeping branch of the stealing loop (Fig. 2b).
@@ -26,10 +27,20 @@ pub(crate) fn claim() -> Vec<KernelOp> {
     ops
 }
 
-/// SIMD-group prologue: load the group's membrane potentials into an FP
-/// register and compute the group's weight base address.
-pub(crate) fn group_prologue(ops: &mut Vec<KernelOp>, state_base: u32) {
+/// SIMD-group prologue: load the group's per-neuron state into FP
+/// registers (one load per state variable — two-variable models pull the
+/// recovery tile from `u_base`, the upper half of the state buffer) and
+/// compute the group's weight base address.
+pub(crate) fn model_group_prologue(
+    ops: &mut Vec<KernelOp>,
+    model: &NeuronModel,
+    state_base: u32,
+    u_base: u32,
+) {
     ops.push(KernelOp::fp_at(FpOp::Load, state_base));
+    if model.state_vars() > 1 {
+        ops.push(KernelOp::fp_at(FpOp::Load, u_base));
+    }
     ops.push(KernelOp::alu());
     ops.push(KernelOp::alu());
 }
@@ -138,10 +149,55 @@ pub(crate) fn streamed_dense_dot(
 /// Head of the fused LIF activation (Section III-B/III-C): decay and
 /// integrate on the FPU, threshold compare, then move the spike mask to the
 /// integer core.
-pub(crate) fn activation_head(ops: &mut Vec<KernelOp>) {
+fn activation_head(ops: &mut Vec<KernelOp>) {
     ops.push(KernelOp::fp(FpOp::Fma)); // v*alpha + i
     ops.push(KernelOp::fp(FpOp::Cmp)); // >= v_th
     ops.push(KernelOp::mov());
+}
+
+/// Head of the fused Izhikevich activation: the quadratic membrane update
+/// `v += 0.04v^2 + 5v + 140 - u + I`, the recovery update
+/// `u += a(b*v' - u)`, the threshold compare, and the predicated spike
+/// resets (`v <- c`, `u <- u' + d`) committed on the FPU before the spike
+/// mask moves to the integer core. The op count is fixed per group — the
+/// resets are predicated selects, not branches — so exact and symbolic
+/// lowerings emit identical sequences by construction.
+fn izhikevich_activation_head(ops: &mut Vec<KernelOp>) {
+    ops.push(KernelOp::fp(FpOp::Fma)); // 0.04*v + 5
+    ops.push(KernelOp::fp(FpOp::Fma)); // (.)*v + 140
+    ops.push(KernelOp::fp(FpOp::Add)); // - u
+    ops.push(KernelOp::fp(FpOp::Add)); // + I
+    ops.push(KernelOp::fp(FpOp::Add)); // v' = v + dv
+    ops.push(KernelOp::fp(FpOp::Fma)); // b*v' - u
+    ops.push(KernelOp::fp(FpOp::Fma)); // u' = u + a*(.)
+    ops.push(KernelOp::fp(FpOp::Cmp)); // v' >= v_th
+    ops.push(KernelOp::fp(FpOp::Add)); // u' + d (spike-reset operand)
+    ops.push(KernelOp::fp(FpOp::Move)); // select v' / c
+    ops.push(KernelOp::fp(FpOp::Move)); // select u' / u'+d
+    ops.push(KernelOp::mov());
+}
+
+/// Model-dispatching activation head: LIF keeps the three-op fused form,
+/// Izhikevich the twelve-op two-variable form.
+pub(crate) fn model_activation_head(ops: &mut Vec<KernelOp>, model: &NeuronModel) {
+    match model {
+        NeuronModel::Lif(_) => activation_head(ops),
+        NeuronModel::Izhikevich(_) => izhikevich_activation_head(ops),
+    }
+}
+
+/// State write-back closing a group's activation: one store per state
+/// variable, mirroring [`model_group_prologue`].
+pub(crate) fn model_state_writeback(
+    ops: &mut Vec<KernelOp>,
+    model: &NeuronModel,
+    state_base: u32,
+    u_base: u32,
+) {
+    ops.push(KernelOp::fp_at(FpOp::Store, state_base));
+    if model.state_vars() > 1 {
+        ops.push(KernelOp::fp_at(FpOp::Store, u_base));
+    }
 }
 
 /// Per-lane unpacking of the spike mask: bit extraction plus branch.
@@ -171,9 +227,4 @@ pub(crate) fn activation_tail_symbolic(
         ops.push(KernelOp::store(idcs_base).times(fired_lanes));
         ops.push(KernelOp::amo(sptr_base).times(fired_lanes));
     }
-}
-
-/// Membrane write-back closing a group's activation.
-pub(crate) fn state_writeback(ops: &mut Vec<KernelOp>, state_base: u32) {
-    ops.push(KernelOp::fp_at(FpOp::Store, state_base));
 }

@@ -21,7 +21,7 @@ use spikestream_ir::{
     StructuralKey,
 };
 use spikestream_snn::{
-    AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, LifState, Network, SpikeMap,
+    AerEvent, CompressedFcInput, CompressedIfmap, Layer, LayerKind, Network, NeuronState, SpikeMap,
     Tensor3,
 };
 
@@ -56,27 +56,28 @@ pub struct LayerExecution {
 }
 
 /// Reusable buffers for repeated [`LayerExecutor::run_with_scratch`] and
-/// [`LayerExecutor::run_temporal_step`] invocations: the LIF membrane
-/// state, the compressed-input buffers and their backing allocations. A
-/// worker that evaluates many layers (or many batch samples) keeps one
-/// `LayerScratch` and avoids re-allocating these per layer once the
-/// buffers reach steady-state capacity.
+/// [`LayerExecutor::run_temporal_step`] invocations: the neuron state, the
+/// compressed-input buffers and their backing allocations. A worker that
+/// evaluates many layers (or many batch samples) keeps one `LayerScratch`
+/// and avoids re-allocating these per layer once the buffers reach
+/// steady-state capacity.
 ///
 /// For temporal runs the scratch additionally owns one *persistent*
-/// [`LifState`] per network layer: [`LayerScratch::begin_sample`] resets
-/// them to rest, and every [`LayerExecutor::run_temporal_step`] of the
-/// sample advances them in place — the membranes survive from timestep to
-/// timestep, which is what makes the pipeline a real spiking inference.
-/// The states are pinned to whichever worker owns the scratch, so a
-/// sample's timesteps always execute on one worker, in order.
+/// [`NeuronState`] per network layer: [`LayerScratch::begin_sample`] resets
+/// them to the layer model's rest state, and every
+/// [`LayerExecutor::run_temporal_step`] of the sample advances them in
+/// place — the state variables survive from timestep to timestep, which is
+/// what makes the pipeline a real spiking inference. The states are pinned
+/// to whichever worker owns the scratch, so a sample's timesteps always
+/// execute on one worker, in order.
 #[derive(Debug, Clone, Default)]
 pub struct LayerScratch {
-    lif: LifState,
+    state: NeuronState,
     ifmap: CompressedIfmap,
     fc: CompressedFcInput,
-    /// Per-layer persistent membrane states of the current temporal sample
+    /// Per-layer persistent neuron states of the current temporal sample
     /// (empty until [`LayerScratch::begin_sample`] is called).
-    states: Vec<LifState>,
+    states: Vec<NeuronState>,
 }
 
 impl LayerScratch {
@@ -85,13 +86,14 @@ impl LayerScratch {
         Self::default()
     }
 
-    /// Start a new temporal sample: size one persistent membrane state per
-    /// layer of `network` and reset every membrane to rest, reusing the
-    /// existing allocations. Must be called before the first
-    /// [`LayerExecutor::run_temporal_step`] of each sample — this is what
-    /// guarantees membrane state never leaks between batch samples.
+    /// Start a new temporal sample: size one persistent neuron state per
+    /// layer of `network` and reset every state variable to the layer
+    /// model's rest values, reusing the existing allocations. Must be
+    /// called before the first [`LayerExecutor::run_temporal_step`] of each
+    /// sample — this is what guarantees neuron state never leaks between
+    /// batch samples.
     pub fn begin_sample(&mut self, network: &Network) {
-        self.states.resize_with(network.len(), LifState::default);
+        self.states.resize_with(network.len(), NeuronState::default);
         for (layer, state) in network.layers().iter().zip(self.states.iter_mut()) {
             let neurons = match &layer.kind {
                 // Conv membranes cover the pre-pool output neurons.
@@ -100,18 +102,18 @@ impl LayerScratch {
                 LayerKind::AvgPool(_) => 0,
                 LayerKind::Linear(l) => l.out_features,
             };
-            state.reset_to(neurons);
+            state.reset_for(&layer.neuron, neurons);
         }
     }
 
-    /// The persistent membrane state of layer `idx` (read-only view, used
+    /// The persistent neuron state of layer `idx` (read-only view, used
     /// by tests and diagnostics).
     ///
     /// # Panics
     ///
     /// Panics if [`LayerScratch::begin_sample`] has not sized the states or
     /// `idx` is out of range.
-    pub fn membrane(&self, idx: usize) -> &LifState {
+    pub fn membrane(&self, idx: usize) -> &NeuronState {
         &self.states[idx]
     }
 }
@@ -208,10 +210,10 @@ impl LayerExecutor {
         input: LayerInput<'_>,
         scratch: &mut LayerScratch,
     ) -> LayerExecution {
-        // Single-shot semantics: the membrane state rests before the layer
+        // Single-shot semantics: the neuron state rests before the layer
         // runs (the dispatch resets it when `fresh` is set).
-        let LayerScratch { lif, ifmap, fc, .. } = scratch;
-        self.dispatch(cluster, layer, input, lif, ifmap, fc, true).0
+        let LayerScratch { state, ifmap, fc, .. } = scratch;
+        self.dispatch(cluster, layer, input, state, ifmap, fc, true).0
     }
 
     /// Run one layer of one *timestep* of a temporal sample, advancing the
@@ -264,11 +266,12 @@ impl LayerExecutor {
                 self.variant,
                 self.format,
             )
-            .lower_symbolic(config, &layer.name, spec, output_rate),
+            .lower_symbolic(config, &layer.name, spec, &layer.neuron, output_rate),
             LayerKind::Conv(spec) => ConvKernel::new(self.variant, self.format).lower_symbolic(
                 config,
                 &layer.name,
                 spec,
+                &layer.neuron,
                 input_rate,
                 output_rate,
             ),
@@ -282,18 +285,24 @@ impl LayerExecutor {
                 config,
                 &layer.name,
                 spec,
+                &layer.neuron,
                 input_rate,
                 output_rate,
             ),
         }
     }
 
-    /// The cache key class of this executor's code variant.
-    fn class(&self) -> u32 {
-        match self.variant {
+    /// The cache key class of one (code variant, neuron model) pairing.
+    /// Classes are process-internal — they only need to be stable and
+    /// collision-free — so the variant occupies bit 0 and the layer's
+    /// neuron-model class the bits above it: two models sharing one cache
+    /// can never serve each other's programs.
+    fn class(&self, layer: &Layer) -> u32 {
+        let variant = match self.variant {
             KernelVariant::Baseline => 0,
             KernelVariant::SpikeStream => 1,
-        }
+        };
+        variant | (layer.neuron.cache_class() << 1)
     }
 
     /// The exact and discrete cache keys of one symbolic binding of
@@ -310,7 +319,7 @@ impl LayerExecutor {
     ) -> (ProgramKey, StructuralKey) {
         let key = ProgramKey {
             layer: layer_idx as u32,
-            class: self.class(),
+            class: self.class(layer),
             format: self.format,
             bucket: SparsityBucket::of(input_rate, output_rate),
         };
@@ -323,7 +332,7 @@ impl LayerExecutor {
         };
         let structural = StructuralKey {
             layer: layer_idx as u32,
-            class: self.class(),
+            class: self.class(layer),
             format: self.format,
             footprint,
             output_bits: output_rate.clamp(0.0, 1.0).to_bits(),
@@ -433,7 +442,7 @@ impl LayerExecutor {
         cluster: &mut ClusterModel,
         layer: &Layer,
         input: LayerInput<'_>,
-        state: &mut LifState,
+        state: &mut NeuronState,
         ifmap: &mut CompressedIfmap,
         fc: &mut CompressedFcInput,
         fresh: bool,
@@ -441,7 +450,7 @@ impl LayerExecutor {
         match (&layer.kind, input) {
             (LayerKind::Conv(spec), LayerInput::Image(image)) => {
                 if fresh {
-                    state.reset_to(spec.conv_output().len());
+                    state.reset_for(&layer.neuron, spec.conv_output().len());
                 }
                 let kernel = DenseEncodingKernel::new(self.variant, self.format);
                 let out = kernel.run(cluster, layer, image, state);
@@ -462,7 +471,7 @@ impl LayerExecutor {
             (LayerKind::Conv(spec), LayerInput::Spikes(spikes)) => {
                 ifmap.refill_from(spikes);
                 if fresh {
-                    state.reset_to(spec.conv_output().len());
+                    state.reset_for(&layer.neuron, spec.conv_output().len());
                 }
                 let kernel = ConvKernel::new(self.variant, self.format);
                 let out = kernel.run(cluster, layer, ifmap, state);
@@ -499,7 +508,7 @@ impl LayerExecutor {
             (LayerKind::Linear(spec), LayerInput::Spikes(spikes)) => {
                 fc.refill_from_map(spikes);
                 if fresh {
-                    state.reset_to(spec.out_features);
+                    state.reset_for(&layer.neuron, spec.out_features);
                 }
                 let kernel = FcKernel::new(self.variant, self.format);
                 let out = kernel.run(cluster, layer, fc, state);
@@ -591,7 +600,7 @@ mod tests {
 
         let mut direct_cluster = cluster();
         let compressed = CompressedIfmap::from_spike_map(&spikes);
-        let mut state = LifState::new(spec.conv_output().len());
+        let mut state = NeuronState::lif(spec.conv_output().len());
         let direct_out = ConvKernel::new(KernelVariant::Baseline, FpFormat::Fp16).run(
             &mut direct_cluster,
             &layer,
@@ -652,7 +661,7 @@ mod tests {
     fn temporal_steps_persist_membrane_state_between_invocations() {
         use spikestream_snn::NetworkBuilder;
         let (layer, spec) = conv_layer(false);
-        let net = NetworkBuilder::new("one").conv("conv", spec, layer.lif).build();
+        let net = NetworkBuilder::new("one").conv("conv", spec, layer.neuron).build();
         let mut net = net;
         net.layers_mut()[0].weights = layer.weights.clone();
 
@@ -663,8 +672,8 @@ mod tests {
 
         // Two temporal steps on the same input: the second step starts from
         // the first step's (decayed, reset-by-subtraction) membranes, so the
-        // membrane trajectory must match a manual two-step LifState run.
-        let mut reference = LifState::new(spec.conv_output().len());
+        // membrane trajectory must match a manual two-step reference run.
+        let mut reference = NeuronState::lif(spec.conv_output().len());
         let compressed = CompressedIfmap::from_spike_map(&spikes);
         for step in 0..2 {
             let mut cl = cluster();

@@ -13,7 +13,8 @@ use snitch_arch::ClusterConfig;
 use snitch_sim::{execute_program, ClusterModel};
 use spikestream_ir::{CodeRegion, ComputePhase, IndexStream, Phase, StreamProgram, WorkItem};
 use spikestream_snn::{
-    CompressedFcInput, Layer, LayerKind, LifState, LinearSpec, SpikeMap, TensorShape,
+    CompressedFcInput, Layer, LayerKind, LinearSpec, NeuronModel, NeuronState, SpikeMap,
+    TensorShape,
 };
 
 use crate::emit;
@@ -77,7 +78,7 @@ impl FcKernel {
         cluster: &mut ClusterModel,
         layer: &Layer,
         input: &CompressedFcInput,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> FcKernelOutput {
         let (program, output) = self.lower(cluster.config(), layer, input, state);
         execute_program(cluster, &program);
@@ -95,7 +96,7 @@ impl FcKernel {
         config: &ClusterConfig,
         layer: &Layer,
         input: &CompressedFcInput,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> (StreamProgram, FcKernelOutput) {
         let LayerKind::Linear(spec) = &layer.kind else {
             panic!("FcKernel requires a fully connected layer");
@@ -107,10 +108,16 @@ impl FcKernel {
         let groups = spec.out_features.div_ceil(lanes);
         let s_len = input.spike_count();
 
-        let plan = TilingPlanner::new(config).plan_linear(spec, self.format, s_len.max(1));
+        let plan = TilingPlanner::new(config).plan_linear(
+            spec,
+            self.format,
+            s_len.max(1),
+            layer.neuron.state_vars(),
+        );
         let weights_base = plan.weights.base;
         let idcs_base = plan.ifmap_idcs.base;
         let state_base = plan.neuron_state.base;
+        let u_base = state_base + (spec.out_features * 4) as u32;
         let spm_bytes = config.spm_bytes.max(1);
 
         let mut program = StreamProgram::new(&layer.name, self.format);
@@ -138,7 +145,7 @@ impl FcKernel {
 
         for g in 0..groups {
             let mut ops = emit::claim();
-            emit::group_prologue(&mut ops, state_base);
+            emit::model_group_prologue(&mut ops, &layer.neuron, state_base, u_base);
             if s_len > 0 {
                 ops.push(match self.variant {
                     KernelVariant::Baseline => emit::baseline_spva(idcs_base, s_len as f64),
@@ -152,8 +159,8 @@ impl FcKernel {
                 });
             }
 
-            // Fused LIF activation and compressed output update.
-            emit::activation_head(&mut ops);
+            // Fused activation and compressed output update.
+            emit::model_activation_head(&mut ops, &layer.neuron);
             for lane in 0..lanes {
                 let o = g * lanes + lane;
                 if o >= spec.out_features {
@@ -161,12 +168,12 @@ impl FcKernel {
                 }
                 emit::lane_unpack(&mut ops);
                 let current = self.format.quantize(currents[o]);
-                if state.step_single(&layer.lif, o, current) {
+                if state.step_single(&layer.neuron, o, current) {
                     spikes.set(0, 0, o, true);
                     emit::fired_update(&mut ops, idcs_base, idcs_base);
                 }
             }
-            emit::state_writeback(&mut ops, state_base);
+            emit::model_state_writeback(&mut ops, &layer.neuron, state_base, u_base);
             items.push(WorkItem::new(ops));
         }
         program.push(Phase::Compute(ComputePhase { code: self.code_regions(), items }));
@@ -193,12 +200,13 @@ impl FcKernel {
 
     /// Symbolic lowering from expected firing rates: one representative
     /// group replicated over all SIMD groups with an expected-length
-    /// stream.
+    /// stream. `model` selects the activation head and state-tile width.
     pub fn lower_symbolic(
         &self,
         config: &ClusterConfig,
         label: &str,
         spec: &LinearSpec,
+        model: &NeuronModel,
         input_rate: f64,
         output_rate: f64,
     ) -> StreamProgram {
@@ -211,10 +219,12 @@ impl FcKernel {
             spec,
             self.format,
             Self::planned_active_inputs(spec, input_rate),
+            model.state_vars(),
         );
         let weights_base = plan.weights.base;
         let idcs_base = plan.ifmap_idcs.base;
         let state_base = plan.neuron_state.base;
+        let u_base = state_base + (spec.out_features * 4) as u32;
 
         let mut program = StreamProgram::new(label, self.format);
         for dma in plan.dma_in_phases() {
@@ -222,7 +232,7 @@ impl FcKernel {
         }
 
         let mut ops = emit::claim();
-        emit::group_prologue(&mut ops, state_base);
+        emit::model_group_prologue(&mut ops, model, state_base, u_base);
         if s_len > 0.0 {
             ops.push(match self.variant {
                 KernelVariant::Baseline => emit::baseline_spva(idcs_base, s_len),
@@ -234,7 +244,7 @@ impl FcKernel {
                 ),
             });
         }
-        emit::activation_head(&mut ops);
+        emit::model_activation_head(&mut ops, model);
         emit::activation_tail_symbolic(
             &mut ops,
             lanes as f64,
@@ -242,7 +252,7 @@ impl FcKernel {
             idcs_base,
             idcs_base,
         );
-        emit::state_writeback(&mut ops, state_base);
+        emit::model_state_writeback(&mut ops, model, state_base, u_base);
 
         program.push(Phase::Compute(ComputePhase {
             code: self.code_regions(),
@@ -287,7 +297,7 @@ mod tests {
         let (layer, spec) = test_layer(256, 32);
         let input = sparse_input(256, 0.1, 1);
         let mut cl = cluster();
-        let mut state = LifState::new(spec.out_features);
+        let mut state = NeuronState::lif(spec.out_features);
         let out = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp32)
             .run(&mut cl, &layer, &input, &mut state);
 
@@ -298,8 +308,8 @@ mod tests {
         for (a, b) in out.currents.iter().zip(ref_currents.iter()) {
             assert!((a - b).abs() < 1e-4);
         }
-        let mut ref_state = LifState::new(spec.out_features);
-        let ref_spikes = ref_state.step(&layer.lif, &ref_currents);
+        let mut ref_state = NeuronState::lif(spec.out_features);
+        let ref_spikes = ref_state.step(&layer.neuron, &ref_currents);
         assert_eq!(out.spikes.to_bools(), ref_spikes);
     }
 
@@ -309,8 +319,8 @@ mod tests {
         let input = sparse_input(512, 0.05, 3);
         let mut c1 = cluster();
         let mut c2 = cluster();
-        let mut s1 = LifState::new(spec.out_features);
-        let mut s2 = LifState::new(spec.out_features);
+        let mut s1 = NeuronState::lif(spec.out_features);
+        let mut s2 = NeuronState::lif(spec.out_features);
         let a = FcKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut c1, &layer, &input, &mut s1);
         let b = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
@@ -331,8 +341,8 @@ mod tests {
         let speedup_of = |input: &CompressedFcInput| {
             let mut c1 = cluster();
             let mut c2 = cluster();
-            let mut s1 = LifState::new(spec.out_features);
-            let mut s2 = LifState::new(spec.out_features);
+            let mut s1 = NeuronState::lif(spec.out_features);
+            let mut s2 = NeuronState::lif(spec.out_features);
             FcKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
                 .run(&mut c1, &layer, input, &mut s1);
             FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16)
@@ -352,7 +362,7 @@ mod tests {
         let (layer, spec) = test_layer(128, 16);
         let input = CompressedFcInput::from_spikes(&[false; 128]);
         let mut cl = cluster();
-        let mut state = LifState::new(spec.out_features);
+        let mut state = NeuronState::lif(spec.out_features);
         let out = FcKernel::new(KernelVariant::SpikeStream, FpFormat::Fp8)
             .run(&mut cl, &layer, &input, &mut state);
         assert_eq!(out.spikes.count_spikes(), 0);
@@ -365,7 +375,7 @@ mod tests {
         let (layer, spec) = test_layer(64, 8);
         let input = CompressedFcInput::from_spikes(&[false; 32]);
         let mut cl = cluster();
-        let mut state = LifState::new(spec.out_features);
+        let mut state = NeuronState::lif(spec.out_features);
         FcKernel::new(KernelVariant::Baseline, FpFormat::Fp16)
             .run(&mut cl, &layer, &input, &mut state);
     }

@@ -103,14 +103,18 @@ impl TilingPlanner {
     }
 
     /// Plan one convolutional layer invocation from a concrete compressed
-    /// input.
+    /// input. `state_vars` is the number of per-neuron state variables the
+    /// layer's neuron model keeps resident (1 for LIF, 2 for Izhikevich's
+    /// membrane + recovery pair); it scales the state tile and both of its
+    /// DMA transfers.
     pub fn plan_conv(
         &self,
         spec: &ConvSpec,
         format: FpFormat,
         input: &CompressedIfmap,
+        state_vars: usize,
     ) -> LayerTilePlan {
-        self.plan_conv_spikes(spec, format, input.spike_count())
+        self.plan_conv_spikes(spec, format, input.spike_count(), state_vars)
     }
 
     /// Plan one convolutional layer invocation from an ifmap spike count —
@@ -122,6 +126,7 @@ impl TilingPlanner {
         spec: &ConvSpec,
         format: FpFormat,
         ifmap_spikes: usize,
+        state_vars: usize,
     ) -> LayerTilePlan {
         let elem = format.bytes() as usize;
         let weight_bytes = spec.weight_count() * elem;
@@ -129,7 +134,9 @@ impl TilingPlanner {
         let padded = spec.padded_input();
         let sptr_bytes = (padded.h * padded.w + 1) * INDEX_BYTES;
         let out = spec.conv_output();
-        let state_bytes = out.len() * 4; // membrane potentials kept in FP32
+        // Per-neuron state kept in FP32; multi-variable models widen the
+        // tile (and its load/write-back transfers) proportionally.
+        let state_bytes = out.len() * 4 * state_vars.max(1);
 
         // Worst-case (zero-sparsity) compressed ofmap allocation.
         let ofmap_bytes = out.len() * INDEX_BYTES + (out.h * out.w + 1) * INDEX_BYTES;
@@ -168,17 +175,19 @@ impl TilingPlanner {
         }
     }
 
-    /// Plan one fully connected layer invocation.
+    /// Plan one fully connected layer invocation. `state_vars` scales the
+    /// neuron-state tile exactly as in [`TilingPlanner::plan_conv`].
     pub fn plan_linear(
         &self,
         spec: &LinearSpec,
         format: FpFormat,
         active_inputs: usize,
+        state_vars: usize,
     ) -> LayerTilePlan {
         let elem = format.bytes() as usize;
         let weight_bytes = spec.weight_count() * elem;
         let idcs_bytes = active_inputs * INDEX_BYTES;
-        let state_bytes = spec.out_features * 4;
+        let state_bytes = spec.out_features * 4 * state_vars.max(1);
         let ofmap_bytes = spec.out_features * INDEX_BYTES + 4;
         self.plan(weight_bytes, idcs_bytes, 8, state_bytes, ofmap_bytes, 1)
     }
@@ -272,10 +281,28 @@ mod tests {
     fn small_layer_needs_a_single_weight_tile() {
         let spec = small_conv();
         let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
-        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input);
+        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input, 1);
         assert_eq!(plan.weight_tiles, 1);
         assert!(plan.bytes_in() > 0);
         assert!(plan.bytes_out() > 0);
+    }
+
+    #[test]
+    fn two_variable_models_double_the_state_traffic() {
+        let spec = small_conv();
+        let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
+        let lif = planner().plan_conv(&spec, FpFormat::Fp16, &input, 1);
+        let izhi = planner().plan_conv(&spec, FpFormat::Fp16, &input, 2);
+        let state = (spec.conv_output().len() * 4) as u64;
+        assert_eq!(izhi.neuron_state.bytes, lif.neuron_state.bytes * 2);
+        assert_eq!(izhi.bytes_in(), lif.bytes_in() + state);
+        assert_eq!(izhi.bytes_out(), lif.bytes_out() + state);
+
+        let lin = LinearSpec { in_features: 256, out_features: 64 };
+        let l1 = planner().plan_linear(&lin, FpFormat::Fp32, 16, 1);
+        let l2 = planner().plan_linear(&lin, FpFormat::Fp32, 16, 2);
+        assert_eq!(l2.neuron_state.bytes, l1.neuron_state.bytes * 2);
+        assert_eq!(l2.bytes_out(), l1.bytes_out() + (lin.out_features * 4) as u64);
     }
 
     #[test]
@@ -290,7 +317,7 @@ mod tests {
             pool: false,
         };
         let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
-        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input);
+        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input, 1);
         // 512*512*9 FP16 weights are ~4.5 MiB: far beyond one 128 KiB tile.
         assert!(plan.weight_tiles > 10, "got {}", plan.weight_tiles);
         assert_eq!(plan.dma_in.len(), plan.weight_tiles + 2);
@@ -300,15 +327,15 @@ mod tests {
     fn narrower_formats_move_fewer_weight_bytes() {
         let spec = small_conv();
         let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
-        let fp16 = planner().plan_conv(&spec, FpFormat::Fp16, &input);
-        let fp8 = planner().plan_conv(&spec, FpFormat::Fp8, &input);
+        let fp16 = planner().plan_conv(&spec, FpFormat::Fp16, &input, 1);
+        let fp8 = planner().plan_conv(&spec, FpFormat::Fp8, &input, 1);
         assert!(fp8.bytes_in() < fp16.bytes_in());
     }
 
     #[test]
     fn linear_plan_covers_weights_and_state() {
         let spec = LinearSpec { in_features: 1024, out_features: 128 };
-        let plan = planner().plan_linear(&spec, FpFormat::Fp16, 40);
+        let plan = planner().plan_linear(&spec, FpFormat::Fp16, 40, 1);
         assert!(plan.weight_tiles >= 2, "1024x128 FP16 weights exceed one tile");
         assert!(plan.bytes_in() >= (spec.weight_count() * 2) as u64);
     }
@@ -325,7 +352,7 @@ mod tests {
             pool: false,
         };
         let input = CompressedIfmap::from_spike_map(&SpikeMap::silent(spec.padded_input()));
-        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input);
+        let plan = planner().plan_conv(&spec, FpFormat::Fp16, &input, 1);
         let ins = plan.dma_in_phases();
         let outs = plan.dma_out_phases();
 

@@ -8,7 +8,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::neuron::LifParams;
+use crate::neuron::NeuronModel;
 use crate::tensor::TensorShape;
 
 /// Geometry of a spiking convolutional layer.
@@ -184,21 +184,23 @@ pub struct Layer {
     pub kind: LayerKind,
     /// Weights in the batched HWC layout (see [`ConvSpec::weight_index`]).
     pub weights: Vec<f32>,
-    /// LIF parameters of the layer's neurons.
-    pub lif: LifParams,
+    /// Neuron model (and its parameters) of the layer's neurons.
+    pub neuron: NeuronModel,
     /// Whether this layer performs spike encoding from a dense input
     /// (only ever true for the first layer, Section III-F of the paper).
     pub encodes_input: bool,
 }
 
 impl Layer {
-    /// Create a layer with zero-initialized weights.
-    pub fn new(name: impl Into<String>, kind: LayerKind, lif: LifParams) -> Self {
+    /// Create a layer with zero-initialized weights. The neuron model is
+    /// anything convertible into a [`NeuronModel`] — passing bare
+    /// [`LifParams`](crate::neuron::LifParams) keeps working.
+    pub fn new(name: impl Into<String>, kind: LayerKind, neuron: impl Into<NeuronModel>) -> Self {
         Layer {
             name: name.into(),
             kind,
             weights: vec![0.0; kind.weight_count()],
-            lif,
+            neuron: neuron.into(),
             encodes_input: false,
         }
     }
@@ -279,7 +281,9 @@ mod tests {
 
     #[test]
     fn layer_construction_and_random_weights() {
+        use crate::neuron::LifParams;
         let mut layer = Layer::new("conv1", LayerKind::Conv(spec()), LifParams::default());
+        assert_eq!(layer.neuron, NeuronModel::Lif(LifParams::default()));
         assert!(layer.weights.iter().all(|&w| w == 0.0));
         let mut rng = rand::rngs::mock::StepRng::new(1, 7);
         layer.randomize_weights(&mut rng, 0.5);

@@ -5,7 +5,8 @@
 //!
 //! * dense activation / weight tensors in the HWC layout used by the
 //!   kernels ([`tensor`]),
-//! * the leaky integrate-and-fire neuron model ([`neuron`]),
+//! * the neuron models — leaky integrate-and-fire and Izhikevich — behind
+//!   the model-generic [`NeuronState`] ([`neuron`]),
 //! * layer descriptors and the S-VGG11 network evaluated in the paper
 //!   ([`layer`], [`model`]),
 //! * the CSR-derived compressed ifmap format and the AER format it is
@@ -32,7 +33,7 @@ pub use compress::{AerEvent, AerFrame, CompressedFcInput, CompressedIfmap};
 pub use encoding::{TemporalEncoder, TemporalEncoding};
 pub use layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
 pub use model::{Network, NetworkBuilder};
-pub use neuron::{LifParams, LifState};
+pub use neuron::{IzhiParams, IzhiState, LifParams, LifState, NeuronModel, NeuronState};
 pub use reference::ReferenceEngine;
 pub use tensor::{ActiveBits, ActiveChannels, SpikeMap, Tensor3, TensorShape};
 pub use workload::{

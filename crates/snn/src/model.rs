@@ -5,7 +5,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
-use crate::neuron::LifParams;
+use crate::neuron::{LifParams, NeuronModel};
 use crate::tensor::TensorShape;
 
 /// A feed-forward spiking neural network.
@@ -45,6 +45,14 @@ impl Network {
     /// Total dense synaptic operations of one timestep.
     pub fn total_dense_synops(&self) -> u64 {
         self.layers.iter().map(|l| l.kind.dense_synops()).sum()
+    }
+
+    /// Set every layer's neuron model (how the scenario `[neuron_model]`
+    /// table applies one model network-wide).
+    pub fn set_neuron_model(&mut self, model: NeuronModel) {
+        for layer in &mut self.layers {
+            layer.neuron = model;
+        }
     }
 
     /// Validate that consecutive layer shapes are compatible.
@@ -127,21 +135,31 @@ impl NetworkBuilder {
         NetworkBuilder { name: name.into(), layers: Vec::new() }
     }
 
-    /// Append a convolutional layer.
-    pub fn conv(mut self, name: &str, spec: ConvSpec, lif: LifParams) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::Conv(spec), lif));
+    /// Append a convolutional layer (any [`NeuronModel`]-convertible
+    /// neuron parameters, e.g. bare [`LifParams`]).
+    pub fn conv(mut self, name: &str, spec: ConvSpec, neuron: impl Into<NeuronModel>) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::Conv(spec), neuron));
         self
     }
 
     /// Append a spike average-pooling layer.
-    pub fn avg_pool(mut self, name: &str, spec: PoolSpec, lif: LifParams) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::AvgPool(spec), lif));
+    pub fn avg_pool(mut self, name: &str, spec: PoolSpec, neuron: impl Into<NeuronModel>) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::AvgPool(spec), neuron));
         self
     }
 
     /// Append a fully connected layer.
-    pub fn linear(mut self, name: &str, spec: LinearSpec, lif: LifParams) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::Linear(spec), lif));
+    pub fn linear(mut self, name: &str, spec: LinearSpec, neuron: impl Into<NeuronModel>) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::Linear(spec), neuron));
+        self
+    }
+
+    /// Replace every already-appended layer's neuron model (scenario
+    /// overrides apply one model network-wide).
+    pub fn with_neuron_model(mut self, model: NeuronModel) -> Self {
+        for layer in &mut self.layers {
+            layer.neuron = model;
+        }
         self
     }
 

@@ -8,7 +8,7 @@
 //! storage format).
 
 use crate::layer::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
-use crate::neuron::LifState;
+use crate::neuron::NeuronState;
 use crate::tensor::{SpikeMap, Tensor3, TensorShape};
 
 /// Functional reference implementation of spiking layers.
@@ -100,24 +100,29 @@ impl ReferenceEngine {
         currents
     }
 
-    /// Apply the LIF dynamics to per-neuron currents and return the output
-    /// spike map (before pooling) for a convolutional layer.
+    /// Apply the layer's neuron dynamics to per-neuron currents and return
+    /// the output spike map (before pooling) for a convolutional layer.
     pub fn activate_conv(
         &self,
         layer: &Layer,
         spec: &ConvSpec,
         currents: &Tensor3,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> SpikeMap {
         let out_shape = spec.conv_output();
         assert_eq!(state.len(), out_shape.len(), "neuron state size mismatch");
         let mut spikes = SpikeMap::silent(out_shape);
-        state.step_into_map(&layer.lif, currents.data(), &mut spikes);
+        state.step_into_map(&layer.neuron, currents.data(), &mut spikes);
         spikes
     }
 
     /// One full convolutional layer step: currents, activation, pooling.
-    pub fn conv_forward(&self, layer: &Layer, input: &SpikeMap, state: &mut LifState) -> SpikeMap {
+    pub fn conv_forward(
+        &self,
+        layer: &Layer,
+        input: &SpikeMap,
+        state: &mut NeuronState,
+    ) -> SpikeMap {
         let LayerKind::Conv(spec) = &layer.kind else {
             panic!("conv_forward called on a non-convolutional layer");
         };
@@ -151,14 +156,14 @@ impl ReferenceEngine {
         &self,
         layer: &Layer,
         input: &SpikeMap,
-        state: &mut LifState,
+        state: &mut NeuronState,
     ) -> SpikeMap {
         let LayerKind::Linear(spec) = &layer.kind else {
             panic!("linear_forward called on a non-linear layer");
         };
         let currents = self.linear_currents(layer, spec, input);
         let mut spikes = SpikeMap::silent(TensorShape::new(1, 1, spec.out_features));
-        state.step_into_map(&layer.lif, &currents, &mut spikes);
+        state.step_into_map(&layer.neuron, &currents, &mut spikes);
         spikes
     }
 }
@@ -328,7 +333,7 @@ mod tests {
         let mut input = SpikeMap::silent(spec.padded_input());
         input.set(0, 0, 0, true);
         input.set(3, 3, 0, true);
-        let mut state = LifState::new(spec.conv_output().len());
+        let mut state = NeuronState::lif(spec.conv_output().len());
         let out = ReferenceEngine::new().conv_forward(&layer, &input, &mut state);
         assert_eq!(out.shape(), TensorShape::new(2, 2, 1));
         assert!(out.get(0, 0, 0));

@@ -49,6 +49,17 @@ Scenario keys (all optional except the [scenario] header):
     timesteps = 4                 temporal-pipeline steps (>= 1; setting this
                                   or `encoding` enables real spike propagation)
     encoding  = \"rate\"           rate | direct (temporal input coding)
+
+Neuron-model keys (optional [neuron_model] table; overrides every layer):
+    model       = \"lif\"          lif | izhikevich (default lif)
+    alpha       = 0.5             lif: decay factor in [0, 1]
+    resistance  = 1.0             lif: membrane resistance (> 0)
+    v_threshold = 1.0             firing threshold (lif: > 0; izhikevich: > c)
+    v_reset     = 1.0             lif: reset potential (>= 0)
+    a           = 0.02            izhikevich: recovery time scale in (0, 1]
+    b           = 0.2             izhikevich: recovery sensitivity
+    c           = -65.0           izhikevich: after-spike reset potential
+    d           = 8.0             izhikevich: after-spike recovery increment
 ";
 
 fn main() -> ExitCode {
@@ -184,12 +195,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             format!("temporal T={timesteps} ({encoding})")
         }
     };
+    let neuron = opts.scenario.neuron.map_or("lif", |m| m.as_str());
     println!(
-        "scenario `{}`: {} · {} · {} · batch {} · {} shard(s) · {}",
+        "scenario `{}`: {} · {} · {} · {} neurons · batch {} · {} shard(s) · {}",
         opts.scenario.name,
         report.network,
         report.variant,
         report.format,
+        neuron,
         report.batch,
         opts.scenario.shards,
         mode,

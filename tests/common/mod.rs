@@ -1,0 +1,101 @@
+//! Shared vocabulary of the cross-backend differential harness: proptest
+//! strategies over neuron models and run dimensions, plus the tiny
+//! conv→conv→fc network the differential properties drive. Lives in a
+//! subdirectory so cargo does not build it as its own test binary.
+
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use spikestream_snn::neuron::LifParams;
+use spikestream_snn::tensor::TensorShape;
+use spikestream_snn::{ConvSpec, IzhiParams, LinearSpec, Network, NetworkBuilder, NeuronModel};
+
+/// Uniform draw from a fixed candidate list — the vendored proptest has no
+/// `prop_oneof!`, so enumerated dimensions (model family, encoding, format,
+/// variant, timestep count) all go through this.
+pub struct Choice<T: Clone>(Vec<T>);
+
+/// A [`Choice`] strategy over `items`.
+pub fn choice<T: Clone>(items: &[T]) -> Choice<T> {
+    assert!(!items.is_empty(), "choice needs at least one candidate");
+    Choice(items.to_vec())
+}
+
+impl<T: Clone> Strategy for Choice<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+/// Strategy over valid neuron models: LIF with randomized decay and
+/// threshold, or an Izhikevich cortical cell (regular- or fast-spiking
+/// base) with a randomized after-spike recovery increment.
+pub struct AnyModel;
+
+impl Strategy for AnyModel {
+    type Value = NeuronModel;
+    fn sample(&self, rng: &mut StdRng) -> NeuronModel {
+        let model = if rng.gen::<bool>() {
+            NeuronModel::Lif(LifParams::new(rng.gen_range(0.2f32..0.9), rng.gen_range(0.2f32..1.2)))
+        } else {
+            let base = if rng.gen::<bool>() {
+                IzhiParams::regular_spiking()
+            } else {
+                IzhiParams::fast_spiking()
+            };
+            NeuronModel::Izhikevich(IzhiParams { d: rng.gen_range(2.0f32..10.0), ..base })
+        };
+        model.validate().expect("strategies draw valid models only");
+        model
+    }
+}
+
+/// Weight amplitude matched to the model's operating regime: the
+/// millivolt-scale Izhikevich dynamics (rest near −70 mV, threshold
+/// 30 mV) need input currents orders of magnitude above the unit-scale
+/// LIF thresholds to reach threshold within a few timesteps.
+pub fn weight_amplitude(model: &NeuronModel) -> f32 {
+    match model {
+        NeuronModel::Lif(_) => 0.15,
+        NeuronModel::Izhikevich(_) => 8.0,
+    }
+}
+
+/// The harness's tiny conv→conv→fc network under `model` (first layer
+/// encodes the input image), sized so cycle-level property cases stay
+/// fast across hundreds of randomized configurations.
+pub fn tiny_network(seed: u64, model: NeuronModel) -> Network {
+    let mut net = NetworkBuilder::new("diff-tiny")
+        .conv(
+            "conv1",
+            ConvSpec {
+                input: TensorShape::new(6, 6, 3),
+                out_channels: 6,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                padding: 1,
+                pool: true,
+            },
+            model,
+        )
+        .conv(
+            "conv2",
+            ConvSpec {
+                input: TensorShape::new(3, 3, 6),
+                out_channels: 8,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                padding: 1,
+                pool: false,
+            },
+            model,
+        )
+        .linear("fc3", LinearSpec { in_features: 3 * 3 * 8, out_features: 10 }, model)
+        .build_with_random_weights(seed, weight_amplitude(&model));
+    net.layers_mut()[0].encodes_input = true;
+    net.validate().expect("shapes chain");
+    net
+}

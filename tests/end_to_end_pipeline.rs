@@ -13,8 +13,8 @@ use spikestream_snn::encoding::{pad_image, pad_spikes, synthetic_image};
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::TensorShape;
 use spikestream_snn::{
-    CompressedFcInput, CompressedIfmap, ConvSpec, LayerKind, LifState, LinearSpec, NetworkBuilder,
-    ReferenceEngine,
+    CompressedFcInput, CompressedIfmap, ConvSpec, LayerKind, LinearSpec, NetworkBuilder,
+    NeuronState, ReferenceEngine,
 };
 
 #[test]
@@ -64,23 +64,23 @@ fn chained_inference_matches_the_reference_engine() {
     };
 
     let padded_image = pad_image(&image_inner, spec1.padding);
-    let mut ref_state1 = LifState::new(spec1.conv_output().len());
+    let mut ref_state1 = NeuronState::lif(spec1.conv_output().len());
     let ref_currents1 = reference.conv_currents_dense(&layers[0], &spec1, &padded_image);
     let ref_spikes1 = reference.activate_conv(&layers[0], &spec1, &ref_currents1, &mut ref_state1);
     let ref_out1 = spikestream_snn::reference::max_pool_2x2(&ref_spikes1);
 
-    let mut ref_state2 = LifState::new(spec2.conv_output().len());
+    let mut ref_state2 = NeuronState::lif(spec2.conv_output().len());
     let ref_out2 =
         reference.conv_forward(&layers[1], &pad_spikes(&ref_out1, spec2.padding), &mut ref_state2);
 
-    let mut ref_state3 = LifState::new(spec3.out_features);
+    let mut ref_state3 = NeuronState::lif(spec3.out_features);
     let ref_out3 = reference.linear_forward(&layers[2], &ref_out2, &mut ref_state3);
 
     // --- Kernel chain (SpikeStream, FP32 so results are exact) -------------
     let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
     let format = FpFormat::Fp32;
 
-    let mut state1 = LifState::new(spec1.conv_output().len());
+    let mut state1 = NeuronState::lif(spec1.conv_output().len());
     let out1 = DenseEncodingKernel::new(KernelVariant::SpikeStream, format).run(
         &mut cluster,
         &layers[0],
@@ -92,7 +92,7 @@ fn chained_inference_matches_the_reference_engine() {
 
     let padded = pad_spikes(&out1.output, spec2.padding);
     let compressed = CompressedIfmap::from_spike_map(&padded);
-    let mut state2 = LifState::new(spec2.conv_output().len());
+    let mut state2 = NeuronState::lif(spec2.conv_output().len());
     let out2 = ConvKernel::new(KernelVariant::SpikeStream, format).run(
         &mut cluster,
         &layers[1],
@@ -103,7 +103,7 @@ fn chained_inference_matches_the_reference_engine() {
     assert_eq!(out2.output, ref_out2, "conv2 output spikes");
 
     let fc_input = CompressedFcInput::from_spike_map(&out2.output);
-    let mut state3 = LifState::new(spec3.out_features);
+    let mut state3 = NeuronState::lif(spec3.out_features);
     let out3 = FcKernel::new(KernelVariant::SpikeStream, format).run(
         &mut cluster,
         &layers[2],

@@ -21,7 +21,8 @@ use spikestream_snn::encoding::{pad_image, synthetic_image};
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::{SpikeMap, TensorShape};
 use spikestream_snn::{
-    CompressedFcInput, CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, LinearSpec, PoolSpec,
+    CompressedFcInput, CompressedIfmap, ConvSpec, Layer, LayerKind, LinearSpec, NeuronState,
+    PoolSpec,
 };
 
 /// Relative cycle-count tolerance between integration and interpretation.
@@ -107,7 +108,7 @@ fn conv_program(
     layer.randomize_weights(&mut rng, 0.1);
     let input =
         CompressedIfmap::from_spike_map(&random_spikes(spec.padded_input(), rate, 1, seed ^ 1));
-    let mut state = LifState::new(spec.conv_output().len());
+    let mut state = NeuronState::lif(spec.conv_output().len());
     ConvKernel::new(variant, format).lower(&ClusterConfig::default(), &layer, &input, &mut state).0
 }
 
@@ -125,7 +126,7 @@ fn dense_program(variant: KernelVariant, format: FpFormat, seed: u64) -> StreamP
     let mut rng = StdRng::seed_from_u64(seed);
     layer.randomize_weights(&mut rng, 0.2);
     let image = pad_image(&synthetic_image(spec.input, &mut rng), spec.padding);
-    let mut state = LifState::new(spec.conv_output().len());
+    let mut state = NeuronState::lif(spec.conv_output().len());
     DenseEncodingKernel::new(variant, format)
         .lower(&ClusterConfig::default(), &layer, &image, &mut state)
         .0
@@ -138,7 +139,7 @@ fn fc_program(variant: KernelVariant, format: FpFormat, rate: f64, seed: u64) ->
     layer.randomize_weights(&mut rng, 0.1);
     let spikes: Vec<bool> = (0..spec.in_features).map(|_| rng.gen_bool(rate)).collect();
     let input = CompressedFcInput::from_spikes(&spikes);
-    let mut state = LifState::new(spec.out_features);
+    let mut state = NeuronState::lif(spec.out_features);
     FcKernel::new(variant, format).lower(&ClusterConfig::default(), &layer, &input, &mut state).0
 }
 

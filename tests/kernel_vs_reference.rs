@@ -12,7 +12,7 @@ use spikestream_kernels::{ConvKernel, FcKernel};
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::{SpikeMap, TensorShape};
 use spikestream_snn::{
-    CompressedFcInput, CompressedIfmap, ConvSpec, Layer, LayerKind, LifState, LinearSpec,
+    CompressedFcInput, CompressedIfmap, ConvSpec, Layer, LayerKind, LinearSpec, NeuronState,
     ReferenceEngine,
 };
 
@@ -59,7 +59,7 @@ fn conv_kernels_match_reference_for_every_format_and_variant() {
         let mut outputs = Vec::new();
         for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
             let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
-            let mut state = LifState::new(spec.conv_output().len());
+            let mut state = NeuronState::lif(spec.conv_output().len());
             let out =
                 ConvKernel::new(variant, format).run(&mut cluster, &layer, &input, &mut state);
             outputs.push(out);
@@ -97,7 +97,7 @@ fn fc_kernels_match_reference_and_each_other() {
     let mut results = Vec::new();
     for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
         let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
-        let mut state = LifState::new(spec.out_features);
+        let mut state = NeuronState::lif(spec.out_features);
         results.push(FcKernel::new(variant, FpFormat::Fp32).run(
             &mut cluster,
             &layer,
@@ -132,7 +132,7 @@ fn streaming_speedup_grows_with_channel_depth() {
         let mut cycles = Vec::new();
         for variant in [KernelVariant::Baseline, KernelVariant::SpikeStream] {
             let mut cluster = ClusterModel::new(ClusterConfig::default(), CostModel::default());
-            let mut state = LifState::new(spec.conv_output().len());
+            let mut state = NeuronState::lif(spec.conv_output().len());
             ConvKernel::new(variant, FpFormat::Fp16).run(&mut cluster, &layer, &input, &mut state);
             cycles.push(cluster.finish_phase("x").compute_cycles as f64);
         }

@@ -111,6 +111,62 @@ fn cross_bucket_misses_rebind_instead_of_re_emitting() {
 }
 
 #[test]
+fn distinct_neuron_models_never_cross_serve_cached_programs() {
+    use spikestream_ir::ProgramCache;
+    use spikestream_snn::neuron::LifParams;
+    use spikestream_snn::tensor::TensorShape;
+    use spikestream_snn::{ConvSpec, IzhiParams, Layer, LayerKind, NeuronModel};
+
+    // One layer geometry in two flavors differing only in neuron model,
+    // bound through one shared cache at identical rates: the cache key's
+    // model class must keep the entries apart — a cross-served LIF program
+    // would under-price the Izhikevich DMA and FLOPs silently.
+    let spec = ConvSpec {
+        input: TensorShape::new(6, 6, 8),
+        out_channels: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        pool: false,
+    };
+    let mut lif_layer = Layer::new("conv", LayerKind::Conv(spec), LifParams::new(0.5, 0.3));
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
+    lif_layer.randomize_weights(&mut rng, 0.1);
+    let mut izhi_layer = lif_layer.clone();
+    izhi_layer.neuron = NeuronModel::Izhikevich(IzhiParams::regular_spiking());
+
+    let cache = ProgramCache::new();
+    let integrator = CostIntegrator::snitch();
+    let executor = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16);
+
+    let lif = executor.bind_symbolic(&cache, &integrator, 0, &lif_layer, 0.2, 0.15);
+    let warm = cache.counters();
+    assert_eq!(warm.emits, 1, "first model emits its program");
+
+    // Same layer index, same rates, other model: a fresh emission — not a
+    // hit, not an `Expected`-count rebind of the LIF entry.
+    let izhi = executor.bind_symbolic(&cache, &integrator, 0, &izhi_layer, 0.2, 0.15);
+    let cold = cache.counters();
+    assert_eq!(cold.emits, warm.emits + 1, "the other model emits fresh");
+    assert_eq!(cold.hits, warm.hits, "no cross-model cache hit");
+    assert_eq!(cold.rebinds, warm.rebinds, "no cross-model rebinding");
+    assert_ne!(lif.program, izhi.program, "the two models lower distinct programs");
+
+    // Re-binding each model again is a pure hit on its own entry.
+    executor.bind_symbolic(&cache, &integrator, 0, &lif_layer, 0.2, 0.15);
+    executor.bind_symbolic(&cache, &integrator, 0, &izhi_layer, 0.2, 0.15);
+    let steady = cache.counters();
+    assert_eq!(steady.hits, cold.hits + 2, "each model hits its own entry");
+    assert_eq!(steady.emits, cold.emits, "no further emissions");
+
+    // Each cached program is exactly what its own emitter produces.
+    assert_eq!(lif.program, executor.lower_symbolic(integrator.config(), &lif_layer, 0.2, 0.15));
+    assert_eq!(izhi.program, executor.lower_symbolic(integrator.config(), &izhi_layer, 0.2, 0.15));
+    assert_eq!(izhi.cost, integrator.integrate(&izhi.program));
+}
+
+#[test]
 fn steady_state_requests_grow_no_arena_buffers() {
     let plan = analytic_plan(12);
     let mut session = plan.open_session();

@@ -12,7 +12,22 @@
 //! 2. the *serving* path (`Scenario::compile` → `Session::infer`)
 //!
 //! byte for byte against the JSON reports captured from the pre-redesign
-//! code (`tests/golden/*.json`).
+//! code (`tests/golden/*.json`). `tiny_izhikevich` extends the set with a
+//! two-state-variable temporal capture pinning the Izhikevich path.
+//!
+//! Refreshing a golden after an *intentional* behavior change:
+//!
+//! ```text
+//! for n in 1 2 4; do
+//!   cargo run --release --bin spikestream -- \
+//!     run examples/scenarios/<name>.toml --shards $n --json \
+//!     > tests/golden/<name>_shards$n.json
+//! done
+//! ```
+//!
+//! then explain in the commit message why every byte that moved was
+//! supposed to move — these captures exist to make silent report drift
+//! impossible, so a refresh must never ride along unexplained.
 //!
 //! This file is the one sanctioned caller of the deprecated wrappers — the
 //! explicit exemption of the CI `-D deprecated` gate.
@@ -53,7 +68,7 @@ fn legacy(scenario: &Scenario, shards: usize) -> String {
 
 #[test]
 fn cycle_level_and_temporal_scenarios_match_the_pre_redesign_captures() {
-    for name in ["tiny", "tiny_pool", "tiny_temporal"] {
+    for name in ["tiny", "tiny_pool", "tiny_temporal", "tiny_izhikevich"] {
         let scenario = scenario(&format!("{name}.toml"));
         for shards in [1usize, 2, 4] {
             let expected = golden(&format!("{name}_shards{shards}.json"));

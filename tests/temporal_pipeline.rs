@@ -21,8 +21,8 @@ use spikestream_snn::encoding::{pad_image, pad_spikes, synthetic_image, Temporal
 use spikestream_snn::neuron::LifParams;
 use spikestream_snn::tensor::{SpikeMap, TensorShape};
 use spikestream_snn::{
-    CompressedIfmap, ConvSpec, FiringProfile, Layer, LayerKind, LifState, LinearSpec, Network,
-    NetworkBuilder, ReferenceEngine,
+    CompressedIfmap, ConvSpec, FiringProfile, Layer, LayerKind, LinearSpec, Network,
+    NetworkBuilder, NeuronState, ReferenceEngine,
 };
 
 const TIMESTEPS: usize = 4;
@@ -98,9 +98,9 @@ fn temporal_chain_matches_the_reference_engine_at_every_step() {
 
     // Reference chain: persistent f32 LIF states, direct coding.
     let reference = ReferenceEngine::new();
-    let mut ref_state1 = LifState::new(spec1.conv_output().len());
-    let mut ref_state2 = LifState::new(spec2.conv_output().len());
-    let mut ref_state3 = LifState::new(spec3.out_features);
+    let mut ref_state1 = NeuronState::lif(spec1.conv_output().len());
+    let mut ref_state2 = NeuronState::lif(spec2.conv_output().len());
+    let mut ref_state3 = NeuronState::lif(spec3.out_features);
 
     // Kernel chain: FP32 so the results are exact.
     let executor = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp32);
@@ -297,7 +297,7 @@ fn per_timestep_programs_integrate_to_their_interpreted_totals() {
         let kernel = ConvKernel::new(variant, FpFormat::Fp16);
         // One persistent membrane state across the timesteps: each step's
         // program is lowered from the state the previous step left behind.
-        let mut state = LifState::new(spec.conv_output().len());
+        let mut state = NeuronState::lif(spec.conv_output().len());
         let mut step_input = CompressedIfmap::from_spike_map(&input);
         for step in 0..3 {
             let (program, out) =

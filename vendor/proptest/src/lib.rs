@@ -5,17 +5,40 @@
 //! float range strategies, [`collection::vec`], and the `prop_assert*`
 //! macros. Each property runs a fixed number of deterministic randomized
 //! cases (no shrinking); failures report the usual assert diagnostics.
+//!
+//! CI hooks, mirroring real proptest's environment knobs:
+//!
+//! * `PROPTEST_CASES=N` overrides the per-property case count (default
+//!   [`CASES`]) — the scheduled deep-fuzz job runs with `512`;
+//! * `PROPTEST_UNSEEDED=1` replaces the deterministic per-name seed with a
+//!   process-entropy seed (printed to stderr so failures are reproducible);
+//! * a failing property writes `proptest-regressions/<name>.txt` recording
+//!   the seed and case index (directory overridable with
+//!   `PROPTEST_REGRESSION_DIR`); later runs replay a recorded seed first.
 
+use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::path::PathBuf;
 
 pub use rand;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Number of randomized cases each property runs.
+/// Default number of randomized cases each property runs; override with
+/// the `PROPTEST_CASES` environment variable.
 pub const CASES: usize = 128;
+
+/// The effective per-property case count: `PROPTEST_CASES` when set to a
+/// positive integer, [`CASES`] otherwise.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(CASES)
+}
 
 pub mod prelude {
     //! Glob-importable surface, mirroring `proptest::prelude`.
@@ -115,21 +138,128 @@ pub fn seed_for(name: &str) -> u64 {
     name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
 }
 
+/// A seed with process entropy in it, for `PROPTEST_UNSEEDED` runs.
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    // `RandomState` seeds itself from OS entropy once per process; folding
+    // the pid in keeps concurrent CI shards apart even if it did not.
+    let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+    hasher.write_u32(std::process::id());
+    hasher.finish()
+}
+
+/// Where failure regressions are written (`PROPTEST_REGRESSION_DIR`, or
+/// `proptest-regressions/` under the test's working directory).
+fn regression_dir() -> PathBuf {
+    std::env::var_os("PROPTEST_REGRESSION_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("proptest-regressions"))
+}
+
+fn regression_file(name: &str) -> PathBuf {
+    regression_dir().join(format!("{name}.txt"))
+}
+
+/// Extract the `seed = …` line of a regression file (decimal or 0x hex).
+fn parse_recorded_seed(text: &str) -> Option<u64> {
+    for line in text.lines() {
+        if let Some(value) = line.trim().strip_prefix("seed =") {
+            let value = value.trim();
+            let parsed = match value.strip_prefix("0x").or_else(|| value.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => value.parse(),
+            };
+            return parsed.ok();
+        }
+    }
+    None
+}
+
+fn recorded_seed(name: &str) -> Option<u64> {
+    parse_recorded_seed(&std::fs::read_to_string(regression_file(name)).ok()?)
+}
+
+/// Writes the failing seed/case to the regression directory when the
+/// property body panics out of the run loop.
+struct RegressionGuard<'a> {
+    name: &'a str,
+    seed: u64,
+    case: Cell<usize>,
+    armed: Cell<bool>,
+}
+
+impl Drop for RegressionGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed.get() || !std::thread::panicking() {
+            return;
+        }
+        let dir = regression_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let body = format!(
+            "# proptest failure regression for `{}`.\n\
+             # Re-running the property replays this seed before the fresh one.\n\
+             seed = 0x{:016x}\ncase = {}\n",
+            self.name,
+            self.seed,
+            self.case.get(),
+        );
+        let path = regression_file(self.name);
+        if std::fs::write(&path, body).is_ok() {
+            eprintln!(
+                "proptest: `{}` failed with seed 0x{:016x} at case {}; wrote {}",
+                self.name,
+                self.seed,
+                self.case.get(),
+                path.display(),
+            );
+        }
+    }
+}
+
+/// Drive one property: replay any recorded failing seed first, then run
+/// [`cases`] fresh cases from the per-name seed (or an entropy seed under
+/// `PROPTEST_UNSEEDED`). Called by the [`proptest!`] expansion.
+pub fn run_property<F: FnMut(&mut StdRng)>(name: &str, mut body: F) {
+    use rand::SeedableRng;
+    let cases = cases();
+    let mut seeds = Vec::new();
+    if let Some(seed) = recorded_seed(name) {
+        eprintln!("proptest: `{name}` replaying recorded failure seed 0x{seed:016x}");
+        seeds.push(seed);
+    }
+    let fresh = if std::env::var_os("PROPTEST_UNSEEDED").is_some() {
+        let seed = entropy_seed() ^ seed_for(name);
+        eprintln!("proptest: `{name}` running unseeded (seed 0x{seed:016x}, {cases} cases)");
+        seed
+    } else {
+        seed_for(name)
+    };
+    if !seeds.contains(&fresh) {
+        seeds.push(fresh);
+    }
+    for seed in seeds {
+        let guard = RegressionGuard { name, seed, case: Cell::new(0), armed: Cell::new(true) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for case in 0..cases {
+            guard.case.set(case);
+            body(&mut rng);
+        }
+        guard.armed.set(false);
+    }
+}
+
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running [`CASES`] deterministic randomized cases.
+/// becomes a `#[test]` running [`cases`] deterministic randomized cases.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                let mut rng: $crate::rand::rngs::StdRng = $crate::rand::SeedableRng::seed_from_u64(
-                    $crate::seed_for(stringify!($name)),
-                );
-                for _case in 0..$crate::CASES {
-                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $crate::run_property(stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
                     $body
-                }
+                });
             }
         )*
     };
@@ -167,5 +297,31 @@ mod tests {
     #[test]
     fn seeds_differ_per_property_name() {
         assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+
+    #[test]
+    fn failing_properties_write_a_regression_file() {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{}", std::process::id()));
+        std::env::set_var("PROPTEST_REGRESSION_DIR", &dir);
+        let result = std::panic::catch_unwind(|| {
+            super::run_property("always_fails", |_rng| panic!("boom"));
+        });
+        assert!(result.is_err(), "the failing property must propagate its panic");
+        let text = std::fs::read_to_string(dir.join("always_fails.txt"))
+            .expect("failure must write a regression file");
+        assert!(super::parse_recorded_seed(&text).is_some(), "{text}");
+        // A later passing run replays the recorded seed without tripping.
+        super::run_property("always_fails", |_rng| {});
+        std::env::remove_var("PROPTEST_REGRESSION_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorded_seeds_parse_hex_and_decimal() {
+        let hex = "# comment\nseed = 0x00ab_cdef\ncase = 3\n".replace('_', "");
+        assert_eq!(super::parse_recorded_seed(&hex), Some(0x00ab_cdef));
+        assert_eq!(super::parse_recorded_seed("seed = 42\n"), Some(42));
+        assert_eq!(super::parse_recorded_seed("case = 3\n"), None);
+        assert_eq!(super::parse_recorded_seed("seed = bogus\n"), None);
     }
 }
