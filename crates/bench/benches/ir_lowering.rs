@@ -75,7 +75,8 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("symbolic_lower_and_integrate/{variant}"), |b| {
             let integrator = CostIntegrator::new(config.clone(), CostModel::default());
             b.iter(|| {
-                let program = kernel.lower_symbolic(&config, "bench", &spec, &layer.neuron, 0.25, 0.2);
+                let program =
+                    kernel.lower_symbolic(&config, "bench", &spec, &layer.neuron, 0.25, 0.2);
                 integrator.integrate(&program).compute_cycles
             })
         });

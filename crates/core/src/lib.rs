@@ -27,8 +27,9 @@
 //!   plan-owned value, and ahead-of-time lowering of every layer's stream
 //!   program into the plan-owned cache;
 //! * [`Plan`] is the immutable, `Send + Sync` servable artifact; its
-//!   [`Session`]s own the worker scratch arenas and per-sample membrane
-//!   state and serve [`Request`]s, streaming per-sample results through a
+//!   [`Session`]s own the worker scratch arenas, per-sample membrane
+//!   state and a parked [`pool::WorkerPool`] of serving threads, and
+//!   serve [`Request`]s, streaming per-sample results through a
 //!   [`ResultSink`] as they complete ([`Session::infer`] folds the stream
 //!   into an [`InferenceReport`]);
 //! * [`backend`] is the pluggable execution layer: the analytic and
@@ -98,6 +99,7 @@ pub mod backend;
 pub mod engine;
 pub mod experiments;
 pub mod plan;
+pub mod pool;
 pub mod report;
 pub mod scenario;
 pub mod session;
@@ -109,9 +111,10 @@ pub use backend::{
 };
 pub use engine::{Engine, InferenceConfig, TimingModel};
 pub use plan::{CompileError, Compiler, Plan};
+pub use pool::PoolStats;
 pub use report::{InferenceReport, LayerReport, ShardSummary, ShardUtilization, TimestepReport};
 pub use scenario::{NetworkChoice, Scenario, ScenarioError};
-pub use session::{FnSink, Request, ResultSink, Session};
+pub use session::{FnSink, Request, ResultSink, Session, SessionStats};
 pub use sharding::{BatchScheduler, ShardedBatch};
 
 // Re-export the vocabulary types users need to drive the engine.

@@ -4,7 +4,9 @@
 //! [`Plan`]. It owns what a *running* service owns — one
 //! [`WorkerArena`] per worker slot (the per-sample staging buffers, the
 //! kernels' compressed-input scratch and the persistent membrane state of
-//! temporal samples) plus the reusable batch bookkeeping — and serves
+//! temporal samples), the parked [`WorkerPool`] threads
+//! that serve multi-worker requests without per-request
+//! spawn/join, and the reusable batch bookkeeping — and serves
 //! [`Request`]s against the plan's immutable, shared program cache.
 //!
 //! Results *stream*: every completed sample is handed to a caller-supplied
@@ -27,8 +29,9 @@ use snitch_sim::ShardSet;
 
 use crate::backend::{ExecutionBackend, LayerSample, WorkerArena};
 use crate::plan::Plan;
+use crate::pool::{PoolStats, WorkerPool};
 use crate::report::{InferenceReport, ShardSummary};
-use crate::sharding::{fleet_summary, DISPATCH_CYCLES};
+use crate::sharding::{clamp_workers, fleet_summary, DISPATCH_CYCLES};
 
 /// One serving request: which batch samples to evaluate and how.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,8 +172,10 @@ impl ResultSink for ReportSink<'_> {
 pub struct Session<'p> {
     plan: &'p Plan,
     arenas: Vec<WorkerArena>,
+    pool: WorkerPool,
     workers: usize,
     chunk: usize,
+    spawn_per_request: bool,
     flat: Vec<LayerSample>,
     cycles: Vec<f64>,
 }
@@ -181,8 +186,10 @@ impl<'p> Session<'p> {
         Session {
             plan,
             arenas: Vec::new(),
+            pool: WorkerPool::new(),
             workers: host,
             chunk: 4,
+            spawn_per_request: false,
             flat: Vec::new(),
             cycles: Vec::new(),
         }
@@ -206,11 +213,49 @@ impl<'p> Session<'p> {
         self
     }
 
+    /// Route multi-worker requests through the legacy spawn-per-request
+    /// scoped executor instead of the session's parked [`WorkerPool`].
+    ///
+    /// This exists as the measurable baseline for the `serve_latency`
+    /// bench (the thread-churn cost the pool exists to remove) and for
+    /// A/B debugging; serving should always use the default pooled path.
+    /// Results are bit-identical either way.
+    pub fn with_spawn_per_request(mut self, spawn: bool) -> Self {
+        self.spawn_per_request = spawn;
+        self
+    }
+
     /// Total samples evaluated and arena-buffer growth events across this
     /// session's worker arenas — the observable "no allocation on the
     /// serving steady state" counters.
     pub fn arena_stats(&self) -> (u64, u64) {
         self.arenas.iter().fold((0, 0), |(r, g), a| (r + a.runs(), g + a.grows()))
+    }
+
+    /// Steady-state counters of this session: arena reuse (samples run,
+    /// buffer growths) plus the worker-pool counters (`spawned` threads,
+    /// `wakeups`, `steals`, `park_ns`). After warm-up, `grows` and
+    /// `pool.spawned` must stay flat across requests — no allocation and
+    /// no thread creation on the serving hot path.
+    ///
+    /// ```
+    /// use spikestream::{Engine, FpFormat, InferenceConfig, KernelVariant, Request};
+    ///
+    /// let engine = Engine::svgg11(1);
+    /// let plan = engine.compile(&InferenceConfig {
+    ///     batch: 16,
+    ///     ..InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16)
+    /// });
+    /// let mut session = plan.open_session();
+    /// session.infer(&Request::batch(16).with_workers(4));
+    /// let warm = session.stats();
+    /// assert_eq!(warm.pool.spawned, 3, "slot 0 is the calling thread");
+    /// session.infer(&Request::batch(16).with_workers(4));
+    /// assert_eq!(session.stats().pool.spawned, warm.pool.spawned);
+    /// ```
+    pub fn stats(&self) -> SessionStats {
+        let (runs, grows) = self.arena_stats();
+        SessionStats { runs, grows, pool: self.pool.stats() }
     }
 
     /// Serve `request`, streaming every completed sample into `sink`.
@@ -239,11 +284,12 @@ impl<'p> Session<'p> {
 
         self.cycles.clear();
         self.cycles.resize(batch, 0.0);
-        // Never spawn more workers than there are chunks to steal — extra
-        // threads would start, claim nothing and exit, paying churn on the
-        // request hot path for no parallelism.
+        // The one shared sizing policy (`sharding::clamp_workers`): never
+        // run more workers than there are chunks to steal.
         let chunks = batch.div_ceil(self.chunk);
-        let workers = request.workers.unwrap_or(self.workers).clamp(1, chunks.max(1));
+        let workers = clamp_workers(request.workers.unwrap_or(self.workers), chunks);
+        // Worker-count growth grows the arenas and the pool together: the
+        // arenas here, the pool threads inside `run_stealing` on dispatch.
         if self.arenas.len() < workers {
             self.arenas.resize_with(workers, WorkerArena::new);
         }
@@ -258,16 +304,16 @@ impl<'p> Session<'p> {
                 sink.on_sample(sample, layers);
             }
         } else {
-            // The shared chunk-stealing host executor (also behind the
-            // legacy `BatchScheduler`); results stream through one
-            // serialized sink handle as they complete. Delivery is a
-            // per-sample critical section — a small copy for the folding
-            // sink, cheap next to evaluating the sample; sinks needing
-            // lock-free delivery at scale can drive `BatchScheduler`'s
-            // disjoint-window scheme instead.
+            // The chunk-stealing claim loop over the session's parked
+            // worker pool; results stream through one serialized sink
+            // handle as they complete. Delivery is a per-sample critical
+            // section — a small copy for the folding sink, cheap next to
+            // evaluating the sample; sinks needing lock-free delivery at
+            // scale can drive `BatchScheduler`'s disjoint-window scheme
+            // instead.
             let shared = Mutex::new((&mut *sink, self.cycles.as_mut_slice()));
             let chunk = self.chunk;
-            crate::sharding::steal_chunks(chunks, &mut self.arenas[..workers], |arena, w| {
+            let run_chunk = |arena: &mut WorkerArena, w: usize| {
                 let start = w * chunk;
                 let end = (start + chunk).min(batch);
                 for i in start..end {
@@ -279,7 +325,24 @@ impl<'p> Session<'p> {
                     cycle_slots[i] = cycles;
                     sink.on_sample(sample, layers);
                 }
-            });
+            };
+            if self.spawn_per_request {
+                // Benchmark baseline: the legacy scoped executor, paying
+                // thread spawn/join on every request.
+                crate::sharding::steal_chunks(chunks, &mut self.arenas[..workers], run_chunk);
+            } else {
+                // Worker slot `s` owns arena `s` for the whole request, so
+                // per-worker kernel scratch and membrane buffers keep
+                // their locality across requests exactly as before; the
+                // mutexes only hand the `&mut` arenas across the parked
+                // threads and are each locked once, by their own slot.
+                let slots: Vec<Mutex<&mut WorkerArena>> =
+                    self.arenas[..workers].iter_mut().map(Mutex::new).collect();
+                self.pool.run_stealing(workers, chunks, |slot, w| {
+                    let arena = &mut *slots[slot].lock().expect("arena slot poisoned");
+                    run_chunk(arena, w);
+                });
+            }
         }
 
         // Deterministic fleet attribution in simulated time: a pure
@@ -326,6 +389,18 @@ impl<'p> Session<'p> {
     }
 }
 
+/// Steady-state serving counters of a [`Session`] (see
+/// [`Session::stats`]): arena reuse plus worker-pool activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Total samples evaluated across the session's worker arenas.
+    pub runs: u64,
+    /// Arena buffer growth events; flat after warm-up.
+    pub grows: u64,
+    /// Parked worker-pool counters; `pool.spawned` is flat after warm-up.
+    pub pool: PoolStats,
+}
+
 impl std::fmt::Debug for Session<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (runs, grows) = self.arena_stats();
@@ -334,6 +409,7 @@ impl std::fmt::Debug for Session<'_> {
             .field("workers", &self.workers)
             .field("arena_runs", &runs)
             .field("arena_grows", &grows)
+            .field("pool", &self.pool)
             .finish_non_exhaustive()
     }
 }

@@ -43,6 +43,15 @@ use crate::report::{ShardSummary, ShardUtilization};
 /// per-RF overhead the kernels charge for `next_rf` stealing).
 pub const DISPATCH_CYCLES: f64 = 2.0;
 
+/// The one host worker-count sizing policy, shared by the serving
+/// [`Session`](crate::Session) pool and the legacy [`BatchScheduler`]:
+/// never run more workers than there are chunks to steal (extra workers
+/// would claim nothing and pay wakeup/spawn churn for no parallelism),
+/// and always run at least one.
+pub(crate) fn clamp_workers(workers: usize, chunks: usize) -> usize {
+    workers.clamp(1, chunks.max(1))
+}
+
 /// Work-stealing batch scheduler over N simulated cluster shards.
 ///
 /// # Example
@@ -127,7 +136,7 @@ impl BatchScheduler {
             // the `&mut` window across the thread boundary safely.
             let windows: Vec<Mutex<&mut [LayerSample]>> =
                 flat.chunks_mut(self.chunk * layers).map(Mutex::new).collect();
-            let workers = self.workers.min(windows.len()).max(1);
+            let workers = clamp_workers(self.workers, windows.len());
             // Per-worker scratch, reused for every sample a worker steals.
             let mut scratch: Vec<Vec<LayerSample>> =
                 (0..workers).map(|_| Vec::with_capacity(layers)).collect();

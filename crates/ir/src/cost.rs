@@ -283,17 +283,28 @@ impl CostIntegrator {
             KernelOp::Fp { op, reps, .. } => {
                 // Each issue hands the op to the FPU through the integer
                 // core; dependent chaining advances the FPU serially.
+                // Closed form of the per-issue recurrence, mirroring the
+                // interpreter's `exec_fp_repeated`: the first iteration
+                // starts at `max(int0 + 1, fpu)` and every later one is
+                // FPU-bound (for any busy >= 1), adding exactly `busy`.
+                // `busy` and `n` are integer-valued, so this is
+                // bit-identical to issuing the op `n` times.
                 let busy = c.fp_cycles(*op) as f64;
-                let useful = is_useful_fp(*op);
-                let n = if reps.fract() == 0.0 { *reps as u64 } else { reps.ceil() as u64 };
-                for _ in 0..n {
-                    core.int_time += 1.0;
-                    let start = core.int_time.max(core.fpu_time);
-                    core.fpu_time = start + busy;
+                let n = if reps.fract() == 0.0 { *reps } else { reps.ceil() };
+                if n > 0.0 {
+                    let int0 = core.int_time;
+                    core.int_time += n;
+                    core.fpu_time = if busy >= 1.0 {
+                        (int0 + 1.0).max(core.fpu_time) + n * busy
+                    } else {
+                        // Zero-occupancy ops only drag the FPU clock up to
+                        // the issue time of the last iteration.
+                        core.fpu_time.max(core.int_time)
+                    };
                 }
                 core.int_instrs += reps;
                 core.fp_instrs += reps;
-                if useful {
+                if is_useful_fp(*op) {
                     core.busy += busy * reps;
                 }
                 core.flops += flops_of(*op, lanes) * reps;

@@ -18,7 +18,7 @@ const USAGE: &str = "\
 spikestream — sharded batch-inference driver for the SpikeStream reproduction
 
 USAGE:
-    spikestream run <scenario.toml> [--shards N] [--batch N] [--timesteps N] [--json]
+    spikestream run <scenario.toml> [--shards N] [--batch N] [--timesteps N] [--workers N] [--json]
     spikestream bench <scenario.toml> [--shards N1,N2,...] [--timesteps N]
     spikestream compare <scenario.toml> [--shards N] [--timesteps N]
     spikestream help
@@ -33,6 +33,9 @@ OPTIONS:
     --timesteps N     Run the temporal pipeline for N timesteps (real spike
                       propagation with persistent membranes; keeps the
                       scenario's encoding, or direct coding by default)
+    --workers N       Serve the request with N host worker threads (default:
+                      host parallelism; 1 = strictly sequential; the report
+                      is bit-identical for every worker count)
     --json            Print the deterministic report JSON instead of tables
 ";
 
@@ -91,6 +94,7 @@ fn main() -> ExitCode {
 struct Options {
     scenario: Scenario,
     shards_list: Option<Vec<usize>>,
+    workers: Option<usize>,
     json: bool,
 }
 
@@ -108,6 +112,7 @@ fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
     let mut shards_list = None;
     let mut batch = None;
     let mut timesteps = None;
+    let mut workers = None;
     let mut json = false;
 
     let mut it = args.iter();
@@ -146,6 +151,18 @@ fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
                 }
                 timesteps = Some(parsed);
             }
+            "--workers" => {
+                if command != Command::Run {
+                    return Err("--workers is only supported by `run`".into());
+                }
+                let value = it.next().ok_or("--workers needs a value")?;
+                let parsed: usize =
+                    value.parse().map_err(|_| format!("bad --workers value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+                workers = Some(parsed);
+            }
             "--json" => {
                 if command != Command::Run {
                     return Err("--json is only supported by `run`".into());
@@ -176,7 +193,7 @@ fn parse_options(command: Command, args: &[String]) -> Result<Options, String> {
     if let Some(list) = &shards_list {
         scenario.shards = list[0];
     }
-    Ok(Options { scenario, shards_list, json })
+    Ok(Options { scenario, shards_list, workers, json })
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -184,7 +201,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // Compile once, then serve the request through a session — the CLI
     // never assembles backends by hand and never re-lowers per call.
     let plan = opts.scenario.compile().map_err(|e| e.to_string())?;
-    let report = plan.open_session().infer(&opts.scenario.request());
+    let mut request = opts.scenario.request();
+    if let Some(workers) = opts.workers {
+        request = request.with_workers(workers);
+    }
+    let report = plan.open_session().infer(&request);
     if opts.json {
         println!("{}", report.to_json());
         return Ok(());
