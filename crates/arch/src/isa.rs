@@ -114,7 +114,12 @@ pub enum StreamPattern {
         /// Element width of the gathered data in bytes.
         elem_bytes: u32,
         /// The index values of this stream, as resolved by the kernel.
-        indices: Vec<u32>,
+        ///
+        /// Shared (`Arc<[u32]>`) rather than owned: the same resolved
+        /// gather list flows from the kernel IR through every
+        /// `SsrConfig` trace op and pattern clone without copying the
+        /// index words.
+        indices: std::sync::Arc<[u32]>,
     },
 }
 
@@ -291,7 +296,7 @@ mod tests {
             index_bytes: 2,
             data_base: 0x1000,
             elem_bytes: 8,
-            indices: vec![3, 0, 7],
+            indices: [3, 0, 7].into(),
         };
         assert_eq!(p.length(), 3);
         assert_eq!(p.data_addresses(), vec![0x1018, 0x1000, 0x1038]);

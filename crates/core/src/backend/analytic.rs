@@ -10,8 +10,7 @@
 //! interpreter.
 
 use spikestream_energy::Activity;
-use spikestream_ir::{CostIntegrator, ProgramCost};
-use spikestream_kernels::LayerExecutor;
+use spikestream_ir::ProgramCost;
 use spikestream_snn::compress::INDEX_BYTES;
 use spikestream_snn::{AerEvent, Layer, LayerKind};
 
@@ -41,8 +40,11 @@ impl ExecutionBackend for AnalyticBackend {
     }
 
     fn run_sample_into(&self, ctx: &SampleContext<'_>, sample: usize, out: &mut Vec<LayerSample>) {
-        let integrator = CostIntegrator::new(ctx.cluster.clone(), ctx.cost.clone());
-        let executor = LayerExecutor::new(ctx.config.variant, ctx.config.format);
+        // The integrator and executor are context-owned (hoisted into the
+        // plan or engine): evaluating a sample clones neither the cluster
+        // configuration nor the cost model.
+        let integrator = ctx.integrator;
+        let executor = ctx.executor;
         let n = ctx.network.len();
         let timesteps = ctx.timesteps();
         out.reserve(n * timesteps);
@@ -53,22 +55,35 @@ impl ExecutionBackend for AnalyticBackend {
                 // Plan-driven runs bind through the shared program cache —
                 // on the serving steady state the lowering and the cost
                 // integration both happened ahead of time (or once per
-                // realized sparsity bucket). A bare context lowers inline;
-                // both paths run the exact same emitter + integrator, so
-                // the samples are bit-identical.
-                let cost = match ctx.programs {
-                    Some(cache) => executor
-                        .bind_symbolic(cache, &integrator, idx, layer, input_rate, output_rate)
-                        .cost
-                        .clone(),
-                    None => integrator.integrate(&executor.lower_symbolic(
-                        ctx.cluster,
-                        layer,
-                        input_rate,
-                        output_rate,
-                    )),
+                // realized sparsity bucket), and the bound program's cost
+                // is read through the cache's `Arc` without cloning. A bare
+                // context lowers inline; both paths run the exact same
+                // emitter + integrator, so the samples are bit-identical.
+                let bound;
+                let owned;
+                let cost: &ProgramCost = match ctx.programs {
+                    Some(cache) => {
+                        bound = executor.bind_symbolic(
+                            cache,
+                            integrator,
+                            idx,
+                            layer,
+                            input_rate,
+                            output_rate,
+                        );
+                        &bound.cost
+                    }
+                    None => {
+                        owned = integrator.integrate(&executor.lower_symbolic(
+                            ctx.cluster,
+                            layer,
+                            input_rate,
+                            output_rate,
+                        ));
+                        &owned
+                    }
                 };
-                out.push(layer_sample(ctx, layer, input_rate, &cost));
+                out.push(layer_sample(ctx, layer, input_rate, cost));
             }
         }
     }

@@ -18,9 +18,8 @@
 //! * [`AnalyticBackend`] — integrates the cost model over symbolic
 //!   lowerings, fast enough for full-batch figure sweeps;
 //! * [`CycleLevelBackend`] — interprets exact lowerings on the
-//!   trace-driven cluster simulation behind a
-//!   [`LayerExecutor`](spikestream_kernels::LayerExecutor), used for
-//!   validation.
+//!   trace-driven cluster simulation behind a [`LayerExecutor`], used
+//!   for validation.
 //!
 //! Third-party backends (accelerator models, event-driven simulators, …)
 //! implement the same trait and either bind into a plan at compile time
@@ -40,8 +39,8 @@ use rand::{Rng, SeedableRng};
 
 use snitch_arch::{ClusterConfig, CostModel};
 use spikestream_energy::EnergyModel;
-use spikestream_ir::ProgramCache;
-use spikestream_kernels::LayerScratch;
+use spikestream_ir::{CostIntegrator, ProgramCache};
+use spikestream_kernels::{LayerExecutor, LayerScratch};
 use spikestream_snn::{FiringProfile, Network, TemporalSparsityModel, WorkloadMode};
 
 use crate::engine::{InferenceConfig, TimingModel};
@@ -69,6 +68,14 @@ pub struct SampleContext<'a> {
     /// re-emitting per sample; `None` (a bare context built outside a
     /// plan) falls back to inline lowering with bit-identical results.
     pub programs: Option<&'a ProgramCache>,
+    /// The shared cost integrator for symbolic lowerings, owned by the
+    /// context's builder ([`Plan`](crate::Plan) or
+    /// [`Engine`](crate::Engine)) so the per-sample hot path never clones
+    /// the cluster configuration and cost model it wraps.
+    pub integrator: &'a CostIntegrator,
+    /// The layer-lowering dispatcher for the run's variant and format
+    /// (a two-enum `Copy` value, hoisted here so backends share one).
+    pub executor: LayerExecutor,
 }
 
 impl SampleContext<'_> {
@@ -319,6 +326,7 @@ mod tests {
             spikestream_kernels::KernelVariant::SpikeStream,
             snitch_arch::fp::FpFormat::Fp16,
         );
+        let integrator = CostIntegrator::new(cluster.clone(), cost.clone());
         let ctx = SampleContext {
             network: &network,
             profile: &profile,
@@ -327,6 +335,8 @@ mod tests {
             energy: &energy,
             config: &config,
             programs: None,
+            integrator: &integrator,
+            executor: LayerExecutor::new(config.variant, config.format),
         };
         // Layer 0 is the dense encoding layer: no jitter.
         assert_eq!(ctx.sample_rate(0, 0), ctx.sample_rate(0, 5));
@@ -351,6 +361,7 @@ mod tests {
             snitch_arch::fp::FpFormat::Fp16,
         )
         .temporal(4, TemporalEncoding::Direct);
+        let integrator = CostIntegrator::new(cluster.clone(), cost.clone());
         let ctx = SampleContext {
             network: &network,
             profile: &profile,
@@ -359,6 +370,8 @@ mod tests {
             energy: &energy,
             config: &config,
             programs: None,
+            integrator: &integrator,
+            executor: LayerExecutor::new(config.variant, config.format),
         };
         assert_eq!(ctx.timesteps(), 4);
         // Spiking layers warm up toward the steady-state profile rate...

@@ -16,7 +16,8 @@ use serde::{Deserialize, Serialize};
 use snitch_arch::fp::FpFormat;
 use snitch_arch::{ClusterConfig, CostModel};
 use spikestream_energy::EnergyModel;
-use spikestream_kernels::KernelVariant;
+use spikestream_ir::CostIntegrator;
+use spikestream_kernels::{KernelVariant, LayerExecutor};
 use spikestream_snn::{FiringProfile, Network, TemporalEncoding, WorkloadMode};
 
 use crate::backend::{ExecutionBackend, SampleContext};
@@ -102,6 +103,10 @@ pub struct Engine {
     cluster: ClusterConfig,
     cost: CostModel,
     energy: EnergyModel,
+    /// Shared cost integrator over `cluster` + `cost`, rebuilt whenever
+    /// either model is replaced; bare [`Engine::sample_context`]s borrow it
+    /// so even plan-less evaluation never clones the models per sample.
+    integrator: CostIntegrator,
 }
 
 impl Engine {
@@ -128,6 +133,7 @@ impl Engine {
             cluster: ClusterConfig::default(),
             cost: CostModel::default(),
             energy: EnergyModel::calibrated(),
+            integrator: CostIntegrator::new(ClusterConfig::default(), CostModel::default()),
         }
     }
 
@@ -154,6 +160,7 @@ impl Engine {
     /// Replace the cost model (used by the ablation experiments).
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self.integrator = CostIntegrator::new(self.cluster.clone(), self.cost.clone());
         self
     }
 
@@ -198,6 +205,8 @@ impl Engine {
             energy: &self.energy,
             config,
             programs: None,
+            integrator: &self.integrator,
+            executor: LayerExecutor::new(config.variant, config.format),
         }
     }
 

@@ -182,6 +182,13 @@ impl Compiler {
         }
         let backend = backend.unwrap_or_else(|| backend_for(config.timing));
 
+        // The plan owns one cost integrator and one layer executor: the
+        // preload below and every per-sample evaluation of every session
+        // share them through the [`SampleContext`], so the serving hot
+        // path never re-clones the cluster configuration or cost model.
+        let integrator = CostIntegrator::new(cluster.clone(), cost.clone());
+        let executor = LayerExecutor::new(config.variant, config.format);
+
         // Ahead-of-time lowering: every layer's template program, emitted
         // and integrated once at the profile's steady-state rates. Runtime
         // bindings at realized sparsities re-bind these templates (or hit
@@ -191,8 +198,6 @@ impl Compiler {
         // warming would be pure waste for them.
         let programs = ProgramCache::new();
         if config.timing == TimingModel::Analytic {
-            let integrator = CostIntegrator::new(cluster.clone(), cost.clone());
-            let executor = LayerExecutor::new(config.variant, config.format);
             let last = network.len().saturating_sub(1);
             for (idx, layer) in network.layers().iter().enumerate() {
                 let input_rate = profile.rate(idx);
@@ -208,7 +213,18 @@ impl Compiler {
             }
         }
 
-        Ok(Plan { network, profile, cluster, cost, energy, config, backend, programs })
+        Ok(Plan {
+            network,
+            profile,
+            cluster,
+            cost,
+            energy,
+            config,
+            backend,
+            programs,
+            integrator,
+            executor,
+        })
     }
 }
 
@@ -234,6 +250,8 @@ pub struct Plan {
     config: InferenceConfig,
     backend: Box<dyn ExecutionBackend>,
     programs: ProgramCache,
+    integrator: CostIntegrator,
+    executor: LayerExecutor,
 }
 
 // `Plan` must stay shareable across serving threads: backends are owned
@@ -311,6 +329,8 @@ impl Plan {
             energy: &self.energy,
             config,
             programs: Some(&self.programs),
+            integrator: &self.integrator,
+            executor: self.executor,
         }
     }
 

@@ -15,6 +15,16 @@
 //! items twice and extrapolating the steady-state deltas instead of
 //! unrolling every instance.
 //!
+//! On top of that linearization, [`CostIntegrator::integrate`] folds whole
+//! replicated phases in closed form: cores whose pipeline state and
+//! instance share are bitwise identical at the start of a replicated item
+//! (the common case — every core but the first, which pays the I-cache
+//! refill) are priced once and the result is broadcast, so a
+//! cluster-width phase costs two representative evaluations instead of
+//! one per core. The pre-folding per-core path survives as
+//! [`CostIntegrator::integrate_reference`] and a property test pins the
+//! two bit-for-bit.
+//!
 //! This replaces the per-kernel closed-form loop math the repository used
 //! to carry in `spikestream-kernels/src/analytic.rs`: the loop structure
 //! now lives in the emitters (once), and this module only knows how to
@@ -109,6 +119,26 @@ impl CoreState {
         }
     }
 
+    /// Bitwise equality over every field, including the FREP queue.
+    /// Deliberately stricter than `==` on `f64` (it distinguishes `-0.0`
+    /// from `0.0` and matches NaNs with identical payloads): two states
+    /// that compare equal here are interchangeable for any further
+    /// integration, which is what makes the replicated-item fold exact.
+    fn bits_eq(&self, other: &CoreState) -> bool {
+        self.int_time.to_bits() == other.int_time.to_bits()
+            && self.fpu_time.to_bits() == other.fpu_time.to_bits()
+            && self.fpu_last.to_bits() == other.fpu_last.to_bits()
+            && self.busy.to_bits() == other.busy.to_bits()
+            && self.int_instrs.to_bits() == other.int_instrs.to_bits()
+            && self.fp_instrs.to_bits() == other.fp_instrs.to_bits()
+            && self.flops.to_bits() == other.flops.to_bits()
+            && self.ssr_configs.to_bits() == other.ssr_configs.to_bits()
+            && self.elements.to_bits() == other.elements.to_bits()
+            && self.conflict_carry.to_bits() == other.conflict_carry.to_bits()
+            && self.freps.len() == other.freps.len()
+            && self.freps.iter().zip(&other.freps).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Extrapolate `factor` more steady-state iterations onto this state.
     fn extrapolate(&mut self, delta: &CoreState, factor: f64) {
         self.int_time += delta.int_time * factor;
@@ -147,7 +177,24 @@ impl CostIntegrator {
     }
 
     /// Integrate one program into its predicted execution statistics.
+    ///
+    /// Replicated items are folded over core-equivalence classes: cores
+    /// entering an item with bitwise-identical pipeline state and instance
+    /// share are priced once and share the result. Bit-identical to
+    /// [`CostIntegrator::integrate_reference`] by construction.
     pub fn integrate(&self, program: &StreamProgram) -> ProgramCost {
+        self.integrate_impl(program, true)
+    }
+
+    /// Reference integration path: evaluates every replicated item on every
+    /// core individually (the pre-folding exec-twice-and-extrapolate loop).
+    /// Kept for differential testing of the folded fast path; production
+    /// callers use [`CostIntegrator::integrate`].
+    pub fn integrate_reference(&self, program: &StreamProgram) -> ProgramCost {
+        self.integrate_impl(program, false)
+    }
+
+    fn integrate_impl(&self, program: &StreamProgram, fold: bool) -> ProgramCost {
         let cores = self.config.worker_cores;
         let mut states = vec![CoreState::default(); cores];
         let banks = BankConflictModel::new(&self.config);
@@ -169,15 +216,22 @@ impl CostIntegrator {
                         prologue_floor = prologue_floor.max(t.complete_cycle as f64);
                     }
                 }
-                Phase::Compute(c) => {
-                    self.compute_phase(c, &mut states, &banks, &mut icache, prologue_floor, lanes)
-                }
+                Phase::Compute(c) => self.compute_phase(
+                    c,
+                    &mut states,
+                    &banks,
+                    &mut icache,
+                    prologue_floor,
+                    lanes,
+                    fold,
+                ),
             }
         }
 
         self.finish(&states, &dma, program)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compute_phase(
         &self,
         phase: &ComputePhase,
@@ -186,6 +240,7 @@ impl CostIntegrator {
         icache: &mut InstructionCache,
         floor: f64,
         lanes: f64,
+        fold: bool,
     ) {
         // Every core waits for the prologue tile loads before computing.
         for core in states.iter_mut() {
@@ -204,7 +259,7 @@ impl CostIntegrator {
                 }
                 self.exec_item(&mut states[j], item, banks, lanes);
             } else {
-                self.replicate_item(states, item, banks, icache, phase, lanes);
+                self.replicate_item(states, item, banks, icache, phase, lanes, fold);
             }
         }
 
@@ -218,6 +273,16 @@ impl CostIntegrator {
     /// Distribute `item.instances` identical copies over the cores without
     /// unrolling them: evaluate the item twice per core and extrapolate the
     /// steady-state delta for the remaining instances.
+    ///
+    /// With `fold` the per-core loop collapses over equivalence classes:
+    /// the item's exit state is a pure function of the core's entry state
+    /// and its instance share `k`, so a core whose `(entry, k)` matches an
+    /// already-priced core copies that core's exit state instead of
+    /// re-evaluating. Entry states are compared bitwise (every `f64` field
+    /// plus the FREP queue), which makes the fold exact: typically only
+    /// core 0 — which pays the I-cache refill — and one representative of
+    /// the remaining cores are evaluated.
+    #[allow(clippy::too_many_arguments)]
     fn replicate_item(
         &self,
         states: &mut [CoreState],
@@ -226,39 +291,71 @@ impl CostIntegrator {
         icache: &mut InstructionCache,
         phase: &ComputePhase,
         lanes: f64,
+        fold: bool,
     ) {
         let cores = states.len() as f64;
         let whole = (item.instances / cores).floor();
         let rem = item.instances - whole * cores;
+        // (k bits, entry state, exit state) of each evaluated class.
+        let mut classes: Vec<(u64, CoreState, CoreState)> = Vec::new();
         for (j, core) in states.iter_mut().enumerate() {
             // Round-robin split: the first `rem` cores take one extra copy.
             let k = whole + rem_share(rem, j);
             if k <= 0.0 {
                 continue;
             }
+            // The I-cache fetches run per core even when the cost folds:
+            // they mutate the cache (LRU order, hit/miss residency), and the
+            // resulting stall lands in `int_time` *before* the entry
+            // snapshot, so the refill-paying core falls into its own class.
             for region in &phase.code {
                 let stall = icache.fetch_region(region.id, region.bytes);
                 core.int_time += stall as f64;
             }
-            let s0 = core.clone();
-            self.exec_item(core, item, banks, lanes);
-            if k <= 1.0 {
-                if k < 1.0 {
-                    // A fractional copy: scale the single-execution delta.
-                    let d = core.delta(&s0);
-                    let mut scaled = s0;
-                    scaled.extrapolate(&d, k);
-                    scaled.freps = core.freps.clone();
-                    scaled.conflict_carry = core.conflict_carry;
-                    *core = scaled;
+            if fold {
+                if let Some((_, _, exit)) =
+                    classes.iter().find(|(kb, entry, _)| *kb == k.to_bits() && entry.bits_eq(core))
+                {
+                    *core = exit.clone();
+                    continue;
                 }
-                continue;
+                let entry = core.clone();
+                self.replicate_on_core(core, item, k, banks, lanes);
+                classes.push((k.to_bits(), entry, core.clone()));
+            } else {
+                self.replicate_on_core(core, item, k, banks, lanes);
             }
-            let s1 = core.clone();
-            self.exec_item(core, item, banks, lanes);
-            let d = core.delta(&s1);
-            core.extrapolate(&d, k - 2.0);
         }
+    }
+
+    /// Charge `k` instances of `item` to one core: exec once (scaling down
+    /// a fractional copy) or twice plus a steady-state extrapolation.
+    fn replicate_on_core(
+        &self,
+        core: &mut CoreState,
+        item: &WorkItem,
+        k: f64,
+        banks: &BankConflictModel,
+        lanes: f64,
+    ) {
+        let s0 = core.clone();
+        self.exec_item(core, item, banks, lanes);
+        if k <= 1.0 {
+            if k < 1.0 {
+                // A fractional copy: scale the single-execution delta.
+                let d = core.delta(&s0);
+                let mut scaled = s0;
+                scaled.extrapolate(&d, k);
+                scaled.freps = core.freps.clone();
+                scaled.conflict_carry = core.conflict_carry;
+                *core = scaled;
+            }
+            return;
+        }
+        let s1 = core.clone();
+        self.exec_item(core, item, banks, lanes);
+        let d = core.delta(&s1);
+        core.extrapolate(&d, k - 2.0);
     }
 
     fn exec_item(
@@ -397,14 +494,27 @@ impl CostIntegrator {
                     interval = interval.max(c.affine_stream_interval);
                     1.0
                 }
-                StreamSpec::Indirect { index_base, index_bytes, indices, .. } => {
+                StreamSpec::Indirect {
+                    index_base,
+                    index_bytes,
+                    data_base,
+                    elem_bytes,
+                    indices,
+                } => {
                     interval = interval.max(c.indirect_stream_interval);
-                    if let IndexStream::Exact(_) = indices {
-                        let gathers = spec.to_pattern().data_addresses();
-                        let index_addrs: Vec<u32> = (0..gathers.len() as u32)
-                            .map(|i| index_base + i * index_bytes)
-                            .collect();
-                        conflicts += banks.conflict_cycles_pairwise(&index_addrs, &gathers) as f64;
+                    if let IndexStream::Exact(idcs) = indices {
+                        // Walk the index words in place instead of
+                        // materializing the two address vectors — exactly
+                        // equivalent to `conflict_cycles_pairwise` over the
+                        // expanded sequences (and identical to what the
+                        // cycle-level interpreter charges).
+                        conflicts += banks.conflict_cycles_indexed(
+                            *index_base,
+                            *index_bytes,
+                            *data_base,
+                            *elem_bytes,
+                            idcs,
+                        ) as f64;
                     }
                     2.0
                 }

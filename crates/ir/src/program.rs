@@ -125,7 +125,9 @@ impl StreamSpec {
                 index_bytes: *index_bytes,
                 data_base: *data_base,
                 elem_bytes: *elem_bytes,
-                indices: v.to_vec(),
+                // Shared, not copied: the pattern holds the same
+                // `Arc<[u32]>` gather list as the IR spec.
+                indices: v.clone(),
             },
             StreamSpec::Indirect { indices: IndexStream::Expected(_), .. } => {
                 panic!("symbolic streams cannot be interpreted, only integrated")

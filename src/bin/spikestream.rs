@@ -205,8 +205,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(workers) = opts.workers {
         request = request.with_workers(workers);
     }
-    let report = plan.open_session().infer(&request);
+    let mut session = plan.open_session();
+    let report = session.infer(&request);
     if opts.json {
+        // The JSON report is a golden-pinned byte-exact contract; serving
+        // diagnostics stay on the human-readable table path only.
         println!("{}", report.to_json());
         return Ok(());
     }
@@ -231,6 +234,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     print_layer_table(&report);
     print_timestep_table(&report);
     print_shard_table(&report);
+    print_serving_stats(&plan, &session);
     Ok(())
 }
 
@@ -360,6 +364,27 @@ fn print_timestep_table(report: &InferenceReport) {
             rates.join(" "),
         );
     }
+}
+
+/// Serving diagnostics: how the request actually hit the plan's program
+/// cache and the session's arenas/pool. On the analytic steady state the
+/// cache line should read all hits (emits only from a cold compile) and
+/// `arena grows` should be flat at one per worker slot.
+fn print_serving_stats(plan: &spikestream::Plan, session: &spikestream::Session<'_>) {
+    let cache = plan.programs().counters();
+    println!(
+        "programs: {} cached · {} lookups ({} hits, {} rebinds, {} emits)",
+        plan.programs().len(),
+        cache.lookups(),
+        cache.hits,
+        cache.rebinds,
+        cache.emits,
+    );
+    let stats = session.stats();
+    println!(
+        "session: {} samples · {} arena grows · pool {{ threads {} · jobs {} · steals {} }}",
+        stats.runs, stats.grows, stats.pool.spawned, stats.pool.jobs, stats.pool.steals,
+    );
 }
 
 fn print_shard_table(report: &InferenceReport) {

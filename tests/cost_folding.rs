@@ -1,0 +1,233 @@
+//! The phase-folding contract: [`CostIntegrator::integrate`] deduplicates
+//! replicated work items by core-equivalence class, and that fold must be
+//! *bit-for-bit* identical to [`CostIntegrator::integrate_reference`],
+//! which walks every core of every replicated item the long way. No
+//! tolerance, no rounding allowance: a folded core copies the exit state
+//! of its class representative, so any divergence at all means the class
+//! key (share count + entry-state bits) admitted two cores that were not
+//! actually interchangeable.
+//!
+//! Exact (non-replicated) programs take the same code path with nothing
+//! to fold, so the suite covers them too — cheaply, via the exact
+//! emitters — alongside randomized symbolic programs across every layer
+//! kind x `KernelVariant` x `FpFormat` x firing rate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snitch_arch::ClusterConfig;
+use spikestream::{Engine, FpFormat, KernelVariant};
+use spikestream_ir::{CostIntegrator, ProgramCost, StreamProgram};
+use spikestream_kernels::LayerExecutor;
+use spikestream_snn::neuron::LifParams;
+use spikestream_snn::tensor::TensorShape;
+use spikestream_snn::{ConvSpec, Layer, LayerKind, LinearSpec, PoolSpec};
+
+const ALL_VARIANTS: [KernelVariant; 2] = [KernelVariant::Baseline, KernelVariant::SpikeStream];
+const ALL_FORMATS: [FpFormat; 3] = [FpFormat::Fp32, FpFormat::Fp16, FpFormat::Fp8];
+
+/// Assert the folded and reference integrations agree bit-for-bit.
+///
+/// `PartialEq` on `ProgramCost` compares `f64` fields with `==`, which
+/// would let `-0.0` pass for `0.0`; the `Debug` comparison closes that
+/// hole and doubles as a readable diff when a field diverges.
+fn assert_fold_exact(label: &str, integrator: &CostIntegrator, program: &StreamProgram) {
+    let folded = integrator.integrate(program);
+    let reference = integrator.integrate_reference(program);
+    assert_eq!(folded, reference, "{label}: folded vs reference integration");
+    assert_eq!(
+        format!("{folded:?}"),
+        format!("{reference:?}"),
+        "{label}: folded vs reference (bit-level)"
+    );
+}
+
+fn conv_layer(in_c: usize, out_c: usize, hw: usize, seed: u64) -> Layer {
+    let spec = ConvSpec {
+        input: TensorShape::new(hw, hw, in_c),
+        out_channels: out_c,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        pool: false,
+    };
+    let mut layer = Layer::new("conv", LayerKind::Conv(spec), LifParams::new(0.5, 0.3));
+    let mut rng = StdRng::seed_from_u64(seed);
+    layer.randomize_weights(&mut rng, 0.1);
+    layer
+}
+
+fn pool_layer(hw: usize, c: usize) -> Layer {
+    let spec = PoolSpec { input: TensorShape::new(hw, hw, c), window: 2 };
+    Layer::new("pool", LayerKind::AvgPool(spec), LifParams::default())
+}
+
+fn linear_layer(in_features: usize, out_features: usize, seed: u64) -> Layer {
+    let spec = LinearSpec { in_features, out_features };
+    let mut layer = Layer::new("fc", LayerKind::Linear(spec), LifParams::new(0.5, 0.15));
+    let mut rng = StdRng::seed_from_u64(seed);
+    layer.randomize_weights(&mut rng, 0.1);
+    layer
+}
+
+/// Every layer of the paper's S-VGG11 lowered symbolically at its profile
+/// rate, for every variant and format. This is the fixed-seed
+/// differential run CI executes on every push; the proptests below widen
+/// the same contract to randomized geometry.
+#[test]
+fn svgg11_symbolic_programs_fold_bit_for_bit() {
+    let engine = Engine::svgg11(5);
+    let integrator = CostIntegrator::snitch();
+    let n = engine.network().len();
+    for variant in ALL_VARIANTS {
+        for format in ALL_FORMATS {
+            let executor = LayerExecutor::new(variant, format);
+            for (idx, layer) in engine.network().layers().iter().enumerate() {
+                let input_rate = engine.profile().rates[idx];
+                let output_rate = engine.profile().rates[(idx + 1).min(n - 1)];
+                let program =
+                    executor.lower_symbolic(integrator.config(), layer, input_rate, output_rate);
+                assert_fold_exact(
+                    &format!("svgg11/{}/{variant}/{format:?}", layer.name),
+                    &integrator,
+                    &program,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn folding_is_exact_under_single_core_and_fractional_shares() {
+    // Degenerate cluster shapes stress the remainder-share classes: one
+    // worker core (nothing to fold), and the default cluster at rates low
+    // enough that every core's share is fractional (k < 1 scaled-delta
+    // path).
+    let single = ClusterConfig { worker_cores: 1, ..ClusterConfig::default() };
+    let integrators =
+        [CostIntegrator::snitch(), CostIntegrator::new(single, snitch_arch::CostModel::default())];
+    let layer = conv_layer(8, 8, 6, 11);
+    for integrator in &integrators {
+        for rate in [0.0005, 0.01, 0.2, 0.9] {
+            let program = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16)
+                .lower_symbolic(integrator.config(), &layer, rate, rate * 0.8);
+            assert_fold_exact(
+                &format!("conv/cores={}/rate={rate}", integrator.config().worker_cores),
+                integrator,
+                &program,
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_symbolic_conv_programs_fold_bit_for_bit(
+        in_c in 3usize..32,
+        out_c in 4usize..48,
+        hw in 4usize..14,
+        input_rate in 0.001f64..0.95,
+        output_rate in 0.001f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let integrator = CostIntegrator::snitch();
+        let mut layer = conv_layer(in_c, out_c, hw, seed);
+        // Cover the dense-encoding lowering on a slice of the seed space:
+        // its symbolic program has no rate-scaled gather, so its folded
+        // classes collapse differently.
+        layer.encodes_input = seed % 4 == 0;
+        for variant in ALL_VARIANTS {
+            let format = ALL_FORMATS[(seed % 3) as usize];
+            let program = LayerExecutor::new(variant, format)
+                .lower_symbolic(integrator.config(), &layer, input_rate, output_rate);
+            let folded = integrator.integrate(&program);
+            let reference = integrator.integrate_reference(&program);
+            prop_assert_eq!(&folded, &reference);
+            prop_assert_eq!(format!("{:?}", folded), format!("{:?}", reference));
+        }
+    }
+
+    #[test]
+    fn random_symbolic_fc_and_pool_programs_fold_bit_for_bit(
+        features in 16usize..512,
+        out_features in 4usize..64,
+        hw in 4usize..16,
+        channels in 2usize..32,
+        input_rate in 0.001f64..0.95,
+        output_rate in 0.001f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let integrator = CostIntegrator::snitch();
+        let layers = [
+            linear_layer(features, out_features, seed),
+            pool_layer(hw.div_ceil(2) * 2, channels),
+        ];
+        for variant in ALL_VARIANTS {
+            let format = ALL_FORMATS[(seed % 3) as usize];
+            for layer in &layers {
+                let program = LayerExecutor::new(variant, format)
+                    .lower_symbolic(integrator.config(), layer, input_rate, output_rate);
+                let folded = integrator.integrate(&program);
+                let reference = integrator.integrate_reference(&program);
+                prop_assert_eq!(&folded, &reference);
+                prop_assert_eq!(format!("{:?}", folded), format!("{:?}", reference));
+            }
+        }
+    }
+}
+
+/// Exact programs carry no `Replicate` items, so `integrate` and
+/// `integrate_reference` share every instruction — but the contract is
+/// cheap to pin and guards against the fold flag ever leaking into the
+/// non-replicated paths.
+#[test]
+fn exact_programs_are_untouched_by_folding() {
+    use rand::Rng;
+    use spikestream_kernels::ConvKernel;
+    use spikestream_snn::tensor::SpikeMap;
+    use spikestream_snn::{CompressedIfmap, NeuronState};
+
+    let layer = conv_layer(8, 12, 6, 21);
+    let LayerKind::Conv(spec) = layer.kind else { unreachable!() };
+    let mut rng = StdRng::seed_from_u64(22);
+    let shape = spec.padded_input();
+    let mut map = SpikeMap::silent(shape);
+    for h in 1..shape.h - 1 {
+        for w in 1..shape.w - 1 {
+            for c in 0..shape.c {
+                if rng.gen_bool(0.3) {
+                    map.set(h, w, c, true);
+                }
+            }
+        }
+    }
+    let input = CompressedIfmap::from_spike_map(&map);
+    let mut state = NeuronState::lif(spec.conv_output().len());
+    let (program, _) = ConvKernel::new(KernelVariant::SpikeStream, FpFormat::Fp16).lower(
+        &ClusterConfig::default(),
+        &layer,
+        &input,
+        &mut state,
+    );
+    assert_fold_exact("conv/exact", &CostIntegrator::snitch(), &program);
+}
+
+/// The reference path is not an alias: a quick structural check that the
+/// costs it produces carry real work, so a bug that made both paths
+/// return zeros could not silently satisfy the differential suite.
+#[test]
+fn differential_suite_integrates_nonzero_work() {
+    let integrator = CostIntegrator::snitch();
+    let layer = conv_layer(16, 16, 8, 3);
+    let program = LayerExecutor::new(KernelVariant::SpikeStream, FpFormat::Fp16).lower_symbolic(
+        integrator.config(),
+        &layer,
+        0.25,
+        0.2,
+    );
+    let cost: ProgramCost = integrator.integrate_reference(&program);
+    assert!(cost.compute_cycles > 0);
+    assert!(cost.flops > 0.0);
+    assert!(cost.stream_elements > 0.0);
+}

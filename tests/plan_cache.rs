@@ -185,6 +185,44 @@ fn steady_state_requests_grow_no_arena_buffers() {
 }
 
 #[test]
+fn steady_state_serving_is_lookup_only_and_allocation_free() {
+    // The combined serving contract behind the context-owned integrator /
+    // executor and the `Arc`-shared cached programs: once a sample
+    // population is warm, a request performs *no* emitter runs, *no* cost
+    // integrations (zero emits and zero rebinds — every binding is an
+    // exact-key hit served through the cache's `Arc`), and *no* arena
+    // growth. Steady-state inference is a read-only walk over
+    // already-priced programs.
+    let plan = analytic_plan(8);
+    let units = plan.network().len() * 8;
+    let mut session = plan.open_session();
+
+    // Warm-up: bind every realized sparsity bucket and size the arenas.
+    session.infer(&Request::batch(8));
+    let warm = plan.programs().counters();
+    let warm_len = plan.programs().len();
+    let (_, grows_warm) = session.arena_stats();
+
+    for _ in 0..5 {
+        session.infer(&Request::batch(8));
+    }
+
+    let steady = plan.programs().counters();
+    assert_eq!(steady.emits, warm.emits, "steady state runs the emitter zero times");
+    assert_eq!(steady.rebinds, warm.rebinds, "steady state re-prices zero programs");
+    assert_eq!(steady.hits, warm.hits + 5 * units as u64, "every binding is a pure hit");
+    assert_eq!(plan.programs().len(), warm_len, "no new cache entries");
+
+    let (runs, grows) = session.arena_stats();
+    assert_eq!(runs, 6 * 8, "every sample ran through an arena");
+    assert_eq!(grows, grows_warm, "steady state allocates no arena growth");
+
+    let stats = session.stats();
+    assert_eq!(stats.runs, 6 * 8);
+    assert_eq!(stats.grows, grows_warm, "session stats agree with the arena pool");
+}
+
+#[test]
 fn temporal_sessions_reuse_membrane_state_arenas_across_requests() {
     use spikestream::{NetworkChoice, TemporalEncoding};
     let (network, profile) = NetworkChoice::TinyCnn.build(7);

@@ -4,7 +4,53 @@
 //! Deserialize)]`); no code path serializes through serde's data model, and
 //! report JSON is produced by hand in `spikestream::report`. This crate
 //! re-exports no-op derive macros so those annotations compile without
-//! crates.io access. The `derive` feature exists so dependents can request
-//! it as they would with the real crate.
+//! crates.io access, plus marker traits of the same names so generic code
+//! can write real `T: Serialize` bounds. The `derive` feature exists so
+//! dependents can request it as they would with the real crate.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Carries no methods: the no-op derives emit no impls, so coverage is
+/// provided by the blanket impls below for the types the workspace shares
+/// (primitives, strings, containers, and — crucially for the `Arc<[u32]>`
+/// gather-index sharing in `StreamPattern`/`IndexStream` — `Arc`).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, String
+);
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {}
+
+// The `Arc` impls the real serde gates behind its `rc` feature. Shared
+// slices (`Arc<[T]>`, how stream gather-index lists travel through the IR
+// and trace ops) are covered by the unsized `T: ?Sized` receiver together
+// with the `[T]` impl above.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<[T]> {}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {}
