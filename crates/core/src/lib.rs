@@ -113,9 +113,9 @@ pub use engine::{Engine, InferenceConfig, TimingModel};
 pub use plan::{CompileError, Compiler, Plan};
 pub use pool::PoolStats;
 pub use report::{InferenceReport, LayerReport, ShardSummary, ShardUtilization, TimestepReport};
-pub use scenario::{NetworkChoice, Scenario, ScenarioError};
-pub use session::{FnSink, Request, ResultSink, Session, SessionStats};
-pub use sharding::{BatchScheduler, ShardedBatch};
+pub use scenario::{NetworkChoice, Scenario, ScenarioError, ServeSettings};
+pub use session::{FnSink, Request, ResultSink, Session, SessionStats, SessionStatsHandle};
+pub use sharding::{attribute_shards, BatchScheduler, ShardedBatch};
 
 // Re-export the vocabulary types users need to drive the engine.
 pub use neuro_accel_models::{AcceleratorResult, AcceleratorSpec};

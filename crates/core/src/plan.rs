@@ -31,7 +31,7 @@ use spikestream_ir::{CostIntegrator, ProgramCache};
 use spikestream_kernels::LayerExecutor;
 use spikestream_snn::{FiringProfile, Network};
 
-use crate::backend::{backend_for, ExecutionBackend, SampleContext};
+use crate::backend::{backend_for, ExecutionBackend, LayerSample, SampleContext};
 use crate::engine::{InferenceConfig, TimingModel};
 use crate::report::InferenceReport;
 use crate::session::{Request, Session};
@@ -311,11 +311,27 @@ impl Plan {
 
     /// The request-effective configuration: the compiled config with the
     /// request's timestep override applied (see [`Request::timesteps`]).
-    pub(crate) fn effective_config(&self, request: &Request) -> InferenceConfig {
+    pub fn effective_config(&self, request: &Request) -> InferenceConfig {
         match request.timesteps {
             Some(t) => self.config.temporal_steps(t),
             None => self.config,
         }
+    }
+
+    /// Fold a slot-major flat buffer of per-layer measurements (the layout
+    /// a [`ReportSink`](crate::session::ResultSink) demultiplexer
+    /// accumulates: `batch` samples × one [`LayerSample`] per layer per
+    /// timestep) into the [`InferenceReport`] a bare session would produce
+    /// for an equivalent request — the demux half of a coalescing gateway,
+    /// which re-folds each client's slice of a shared run separately.
+    pub fn fold_report(
+        &self,
+        request: &Request,
+        flat: &[LayerSample],
+        batch: usize,
+    ) -> InferenceReport {
+        let config = self.effective_config(request);
+        InferenceReport::fold_batch(&self.network, self.clock_hz(), &config, flat, batch)
     }
 
     /// The shared per-sample evaluation context for an effective config,
@@ -335,7 +351,7 @@ impl Plan {
     }
 
     /// Clock frequency used to convert cycles to seconds in reports.
-    pub(crate) fn clock_hz(&self) -> f64 {
+    pub fn clock_hz(&self) -> f64 {
         self.cluster.clock_hz
     }
 }

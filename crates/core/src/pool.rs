@@ -114,9 +114,13 @@ struct Shared {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
-    spawned: u64,
-    jobs: u64,
-    steals: u64,
+    // Atomics like the `Shared` counters — not for the pool's own threads
+    // (only the dispatcher mutates them) but so a stats mirror handed to a
+    // monitoring thread (`Session::stats_handle`) can read a coherent
+    // snapshot without ever contending with a dispatch in progress.
+    spawned: AtomicU64,
+    jobs: AtomicU64,
+    steals: AtomicU64,
 }
 
 impl WorkerPool {
@@ -138,9 +142,9 @@ impl WorkerPool {
                 park_ns: AtomicU64::new(0),
             }),
             handles: Vec::new(),
-            spawned: 0,
-            jobs: 0,
-            steals: 0,
+            spawned: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         }
     }
 
@@ -152,10 +156,10 @@ impl WorkerPool {
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            spawned: self.spawned,
-            jobs: self.jobs,
+            spawned: self.spawned.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
             wakeups: self.shared.wakeups.load(Ordering::Relaxed),
-            steals: self.steals,
+            steals: self.steals.load(Ordering::Relaxed),
             park_ns: self.shared.park_ns.load(Ordering::Relaxed),
         }
     }
@@ -190,11 +194,11 @@ impl WorkerPool {
 
         if workers <= 1 {
             job(0);
-            self.steals += chunks as u64;
+            self.steals.fetch_add(chunks as u64, Ordering::Relaxed);
             return;
         }
         self.ensure_spawned(workers - 1);
-        self.jobs += 1;
+        self.jobs.fetch_add(1, Ordering::Relaxed);
 
         let erased: &(dyn Fn(usize) + Sync) = &job;
         // SAFETY: we erase the closure's lifetime to park it in the shared
@@ -230,7 +234,7 @@ impl WorkerPool {
             state.job = None;
             state.panic.take()
         };
-        self.steals += chunks as u64;
+        self.steals.fetch_add(chunks as u64, Ordering::Relaxed);
 
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
@@ -252,7 +256,7 @@ impl WorkerPool {
                 .spawn(move || worker_loop(&shared, slot))
                 .expect("failed to spawn session worker thread");
             self.handles.push(handle);
-            self.spawned += 1;
+            self.spawned.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

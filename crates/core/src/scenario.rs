@@ -32,6 +32,13 @@
 //! c           = -65.0
 //! d           = 8.0
 //! v_threshold = 30.0
+//!
+//! # Optional serving-gateway policy for `spikestream serve-demo` (each
+//! # key falls back to the gateway default when omitted).
+//! [serve]
+//! max_batch = 16
+//! linger_us = 200
+//! queue_cap = 256
 //! ```
 //!
 //! The parser is hand-rolled (no external TOML dependency) and rejects
@@ -188,6 +195,21 @@ fn err(line: usize, message: impl Into<String>) -> ScenarioError {
     ScenarioError { line, message: message.into() }
 }
 
+/// Serving-gateway policy from a scenario's optional `[serve]` table.
+///
+/// Each field overrides the corresponding gateway default when set. The
+/// core crate does not depend on the serving crate, so these are plain
+/// values; the CLI folds them into `spikestream-serve`'s `GatewayConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSettings {
+    /// Close a micro-batch once it holds this many samples.
+    pub max_batch: Option<usize>,
+    /// Close a non-full micro-batch after this many microseconds.
+    pub linger_us: Option<u64>,
+    /// Bounded per-tenant queue capacity, in requests.
+    pub queue_cap: Option<usize>,
+}
+
 /// One declarative batch-inference scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -203,6 +225,9 @@ pub struct Scenario {
     /// `[neuron_model]` table); `None` keeps each network's built-in LIF
     /// parameters.
     pub neuron: Option<NeuronModel>,
+    /// Optional serving-gateway policy (from the `[serve]` table); `None`
+    /// leaves the gateway on its defaults.
+    pub serve: Option<ServeSettings>,
 }
 
 impl Scenario {
@@ -216,6 +241,7 @@ impl Scenario {
             config: InferenceConfig::paper(KernelVariant::SpikeStream, FpFormat::Fp16),
             shards: 1,
             neuron: None,
+            serve: None,
         }
     }
 
@@ -232,12 +258,15 @@ impl Scenario {
             None,
             Scenario,
             NeuronModel,
+            Serve,
         }
 
         let mut scenario = Scenario::defaults();
         let mut section = Section::None;
         let mut saw_scenario = false;
         let mut saw_neuron = false;
+        let mut serve = ServeSettings::default();
+        let mut saw_serve = false;
         let mut timesteps: Option<usize> = None;
         let mut encoding: Option<TemporalEncoding> = None;
         // `[neuron_model]` keys, collected raw and assembled after the loop
@@ -264,6 +293,10 @@ impl Scenario {
                     "neuron_model" => {
                         saw_neuron = true;
                         Section::NeuronModel
+                    }
+                    "serve" => {
+                        saw_serve = true;
+                        Section::Serve
                     }
                     other => {
                         return Err(err(
@@ -298,6 +331,35 @@ impl Scenario {
                                 "unknown key `{other}` in `[neuron_model]` (did you mean \
                                  `{}`?)",
                                 nearest(other, NEURON_KEYS)
+                            ),
+                        ))
+                    }
+                }
+                continue;
+            }
+            if section == Section::Serve {
+                match key {
+                    "max_batch" => {
+                        let max_batch = parse_u64(lineno, value)? as usize;
+                        if max_batch == 0 {
+                            return Err(err(lineno, "max_batch must be at least 1"));
+                        }
+                        serve.max_batch = Some(max_batch);
+                    }
+                    "linger_us" => serve.linger_us = Some(parse_u64(lineno, value)?),
+                    "queue_cap" => {
+                        let queue_cap = parse_u64(lineno, value)? as usize;
+                        if queue_cap == 0 {
+                            return Err(err(lineno, "queue_cap must be at least 1"));
+                        }
+                        serve.queue_cap = Some(queue_cap);
+                    }
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "unknown key `{other}` in `[serve]` (did you mean `{}`?)",
+                                nearest(other, SERVE_KEYS)
                             ),
                         ))
                     }
@@ -411,6 +473,9 @@ impl Scenario {
         if saw_neuron {
             scenario.neuron = Some(assemble_neuron_model(neuron_choice, &neuron_params)?);
         }
+        if saw_serve {
+            scenario.serve = Some(serve);
+        }
         // Either temporal key switches the run to the temporal pipeline;
         // unspecified halves fall back to T = 1 / direct coding.
         if timesteps.is_some() || encoding.is_some() {
@@ -497,7 +562,7 @@ impl Scenario {
 }
 
 /// Section headers the parser accepts.
-const SECTION_NAMES: &[&str] = &["scenario", "neuron_model"];
+const SECTION_NAMES: &[&str] = &["scenario", "neuron_model", "serve"];
 
 /// Keys of the `[scenario]` table.
 const SCENARIO_KEYS: &[&str] = &[
@@ -516,6 +581,9 @@ const SCENARIO_KEYS: &[&str] = &[
 /// Keys of the `[neuron_model]` table (the union of both models' fields).
 const NEURON_KEYS: &[&str] =
     &["model", "alpha", "resistance", "v_reset", "v_threshold", "a", "b", "c", "d"];
+
+/// Keys of the `[serve]` table.
+const SERVE_KEYS: &[&str] = &["max_batch", "linger_us", "queue_cap"];
 
 /// The candidate with the smallest edit distance to `key` — what the
 /// "did you mean" half of an unknown-key error names.
@@ -851,6 +919,47 @@ shards  = 4
         let e = s.compile().unwrap_err();
         assert!(e.message.contains("invalid izhikevich parameters"), "{e}");
         assert!(e.message.contains("conv1"), "{e}");
+    }
+
+    #[test]
+    fn serve_table_collects_gateway_policy() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"sv\"\n[serve]\nmax_batch = 16\nlinger_us = 50\nqueue_cap = 8\n",
+        )
+        .unwrap();
+        assert_eq!(
+            s.serve,
+            Some(ServeSettings { max_batch: Some(16), linger_us: Some(50), queue_cap: Some(8) })
+        );
+        // A partial table leaves the omitted knobs unset.
+        let partial = Scenario::parse("[scenario]\n[serve]\nmax_batch = 4\n").unwrap();
+        assert_eq!(
+            partial.serve,
+            Some(ServeSettings { max_batch: Some(4), linger_us: None, queue_cap: None })
+        );
+        // No table at all: `None`, the gateway keeps its defaults.
+        let plain = Scenario::parse("[scenario]\nname = \"p\"\n").unwrap();
+        assert_eq!(plain.serve, None);
+    }
+
+    #[test]
+    fn serve_table_errors_carry_line_numbers_and_spellings() {
+        let cases = [
+            ("[scenario]\n[serve]\nmax_batch = 0\n", 3, "at least 1"),
+            ("[scenario]\n[serve]\nqueue_cap = 0\n", 3, "at least 1"),
+            ("[scenario]\n[serve]\nlinger_us = \"x\"\n", 3, "unsigned integer"),
+        ];
+        for (text, line, needle) in cases {
+            let e = Scenario::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}: {e}");
+            assert!(e.message.contains(needle), "{text:?}: {e}");
+        }
+        let e = Scenario::parse("[scenario]\n[serve]\nmax_bath = 4\n").unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.message.contains("unknown key `max_bath` in `[serve]`"), "{e}");
+        assert!(e.message.contains("did you mean `max_batch`"), "{e}");
+        let e = Scenario::parse("[sevre]\n").unwrap_err();
+        assert!(e.message.contains("did you mean `[serve]`"), "{e}");
     }
 
     #[test]

@@ -23,15 +23,14 @@
 //! ([`Request::sequential`]).
 
 use std::ops::Range;
-use std::sync::Mutex;
-
-use snitch_sim::ShardSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::backend::{ExecutionBackend, LayerSample, WorkerArena};
 use crate::plan::Plan;
 use crate::pool::{PoolStats, WorkerPool};
 use crate::report::{InferenceReport, ShardSummary};
-use crate::sharding::{clamp_workers, fleet_summary, DISPATCH_CYCLES};
+use crate::sharding::{attribute_shards, clamp_workers};
 
 /// One serving request: which batch samples to evaluate and how.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +111,19 @@ pub trait ResultSink: Send {
     /// [`ExecutionBackend::run_sample`].
     fn on_sample(&mut self, sample: usize, layers: &[LayerSample]);
 
+    /// One completed sample with its *position* in the request: `slot` is
+    /// the index into the request's sample sequence (`0..request.len()`),
+    /// `sample` the batch sample that position names. For range requests
+    /// `sample == request.samples.start + slot`, so the default forwards
+    /// to [`ResultSink::on_sample`]; gather requests
+    /// ([`Session::run_gather`]) may evaluate the *same* sample at several
+    /// positions (two coalesced clients asking for sample 0), and a
+    /// demultiplexing sink must key on `slot`, not `sample`, to route each
+    /// result to its requester.
+    fn on_slot(&mut self, _slot: usize, sample: usize, layers: &[LayerSample]) {
+        self.on_sample(sample, layers);
+    }
+
     /// Fleet statistics of a sharded request, delivered once after the
     /// last sample. Not called for unsharded requests.
     fn on_fleet(&mut self, _summary: &ShardSummary) {}
@@ -131,21 +143,48 @@ impl<F: FnMut(usize, &[LayerSample]) + Send> ResultSink for FnSink<F> {
 /// order) and folds the buffer into an [`InferenceReport`] — the legacy
 /// monolithic report is this fold, nothing more.
 struct ReportSink<'a> {
-    first: usize,
     units: usize,
     flat: &'a mut Vec<LayerSample>,
     fleet: Option<ShardSummary>,
 }
 
 impl ResultSink for ReportSink<'_> {
-    fn on_sample(&mut self, sample: usize, layers: &[LayerSample]) {
-        let at = (sample - self.first) * self.units;
+    fn on_sample(&mut self, _sample: usize, _layers: &[LayerSample]) {
+        unreachable!("the folding sink is slot-addressed");
+    }
+
+    fn on_slot(&mut self, slot: usize, _sample: usize, layers: &[LayerSample]) {
+        let at = slot * self.units;
         debug_assert_eq!(layers.len(), self.units, "one LayerSample per layer per timestep");
         self.flat[at..at + self.units].copy_from_slice(layers);
     }
 
     fn on_fleet(&mut self, summary: &ShardSummary) {
         self.fleet = Some(summary.clone());
+    }
+}
+
+/// The sample positions one serving call evaluates: a contiguous range
+/// ([`Request::samples`]) or an explicit, possibly non-contiguous (and
+/// possibly repeating) gather list ([`Session::run_gather`]).
+enum SampleIds<'a> {
+    Range(Range<usize>),
+    List(&'a [usize]),
+}
+
+impl SampleIds<'_> {
+    fn len(&self) -> usize {
+        match self {
+            SampleIds::Range(r) => r.len(),
+            SampleIds::List(l) => l.len(),
+        }
+    }
+
+    fn get(&self, slot: usize) -> usize {
+        match self {
+            SampleIds::Range(r) => r.start + slot,
+            SampleIds::List(l) => l[slot],
+        }
     }
 }
 
@@ -178,6 +217,7 @@ pub struct Session<'p> {
     spawn_per_request: bool,
     flat: Vec<LayerSample>,
     cycles: Vec<f64>,
+    mirror: SessionStatsHandle,
 }
 
 impl<'p> Session<'p> {
@@ -192,6 +232,7 @@ impl<'p> Session<'p> {
             spawn_per_request: false,
             flat: Vec::new(),
             cycles: Vec::new(),
+            mirror: SessionStatsHandle::default(),
         }
     }
 
@@ -258,6 +299,32 @@ impl<'p> Session<'p> {
         SessionStats { runs, grows, pool: self.pool.stats() }
     }
 
+    /// A cloneable, `Send + Sync` handle onto this session's steady-state
+    /// counters that stays readable while the session itself is serving.
+    ///
+    /// [`Session::stats`] needs `&self`, which a serving dispatcher that
+    /// holds the session `&mut` for the duration of a batch cannot share;
+    /// the handle reads a set of interior atomic mirrors instead, updated
+    /// by the session at the end of every request, so a monitoring thread
+    /// (a gateway's stats endpoint) never contends with serving — a
+    /// snapshot is a handful of relaxed loads and reflects the state as of
+    /// the last completed request.
+    pub fn stats_handle(&self) -> SessionStatsHandle {
+        self.mirror.clone()
+    }
+
+    /// The mirror snapshot behind [`Session::stats_handle`]: identical to
+    /// [`Session::stats`] between requests, and never blocks.
+    pub fn stats_snapshot(&self) -> SessionStats {
+        self.mirror.snapshot()
+    }
+
+    /// Store the current counters into the atomic mirror the stats
+    /// handles read. Called at the end of every serving call.
+    fn publish_stats(&self) {
+        self.mirror.publish(self.stats());
+    }
+
     /// Serve `request`, streaming every completed sample into `sink`.
     pub fn run(&mut self, request: &Request, sink: &mut dyn ResultSink) {
         self.run_with_backend(self.plan.backend(), request, sink)
@@ -266,6 +333,30 @@ impl<'p> Session<'p> {
     /// Serve `request` and fold the stream into an [`InferenceReport`].
     pub fn infer(&mut self, request: &Request) -> InferenceReport {
         self.infer_with_backend(self.plan.backend(), request)
+    }
+
+    /// Serve an explicit — possibly non-contiguous, possibly repeating —
+    /// list of batch sample indices with the options of `request`
+    /// (`request.samples` itself is ignored), streaming every completed
+    /// sample into `sink` via [`ResultSink::on_slot`] with its position in
+    /// `samples`.
+    ///
+    /// This is the serving entry point of a coalescing gateway: several
+    /// clients' sample lists are concatenated into one gather list, the
+    /// whole batch runs as one sharded request over the session's arenas
+    /// and pool, and the sink demultiplexes results back per client by
+    /// slot. Each evaluated sample is bit-identical to serving it alone
+    /// through [`Session::run`] — samples are independently seeded, so
+    /// batch composition can never change a result.
+    pub fn run_gather(&mut self, request: &Request, samples: &[usize], sink: &mut dyn ResultSink) {
+        self.serve(self.plan.backend(), request, SampleIds::List(samples), sink)
+    }
+
+    /// [`Session::run_gather`] folded into an [`InferenceReport`] over the
+    /// listed samples (in list order) — the report a bare session would
+    /// produce for an equivalent range request.
+    pub fn infer_gather(&mut self, request: &Request, samples: &[usize]) -> InferenceReport {
+        self.fold(self.plan.backend(), request, SampleIds::List(samples))
     }
 
     /// [`Session::run`] with an explicit, caller-borrowed backend — the
@@ -278,9 +369,20 @@ impl<'p> Session<'p> {
         request: &Request,
         sink: &mut dyn ResultSink,
     ) {
+        self.serve(backend, request, SampleIds::Range(request.samples.clone()), sink)
+    }
+
+    /// The one serving loop behind every entry point: evaluate the sample
+    /// at each position of `ids` and stream results into `sink`.
+    fn serve(
+        &mut self,
+        backend: &dyn ExecutionBackend,
+        request: &Request,
+        ids: SampleIds<'_>,
+        sink: &mut dyn ResultSink,
+    ) {
         let config = self.plan.effective_config(request);
-        let batch = request.samples.len();
-        let first = request.samples.start;
+        let batch = ids.len();
 
         self.cycles.clear();
         self.cycles.resize(batch, 0.0);
@@ -296,12 +398,13 @@ impl<'p> Session<'p> {
 
         let ctx = self.plan.context(&config);
         if workers == 1 {
-            // Strictly sequential: ascending sample order on this thread.
+            // Strictly sequential: ascending slot order on this thread.
             let arena = &mut self.arenas[0];
-            for (i, sample) in request.samples.clone().enumerate() {
+            for i in 0..batch {
+                let sample = ids.get(i);
                 let layers = arena.run_sample(backend, &ctx, sample);
                 self.cycles[i] = layers.iter().map(|l| l.cycles).sum();
-                sink.on_sample(sample, layers);
+                sink.on_slot(i, sample, layers);
             }
         } else {
             // The chunk-stealing claim loop over the session's parked
@@ -313,17 +416,18 @@ impl<'p> Session<'p> {
             // instead.
             let shared = Mutex::new((&mut *sink, self.cycles.as_mut_slice()));
             let chunk = self.chunk;
+            let ids = &ids;
             let run_chunk = |arena: &mut WorkerArena, w: usize| {
                 let start = w * chunk;
                 let end = (start + chunk).min(batch);
                 for i in start..end {
-                    let sample = first + i;
+                    let sample = ids.get(i);
                     let layers = arena.run_sample(backend, &ctx, sample);
                     let cycles: f64 = layers.iter().map(|l| l.cycles).sum();
                     let mut guard = shared.lock().expect("result sink poisoned");
                     let (sink, cycle_slots) = &mut *guard;
                     cycle_slots[i] = cycles;
-                    sink.on_sample(sample, layers);
+                    sink.on_slot(i, sample, layers);
                 }
             };
             if self.spawn_per_request {
@@ -350,12 +454,9 @@ impl<'p> Session<'p> {
         // the host threads raced (and identical to the legacy
         // `run_sharded` batch scheduler).
         if let Some(shards) = request.shards {
-            let mut set = ShardSet::new(shards.max(1)).with_dispatch_cycles(DISPATCH_CYCLES);
-            for &cycles in &self.cycles {
-                set.assign(cycles);
-            }
-            sink.on_fleet(&fleet_summary(&set));
+            sink.on_fleet(&attribute_shards(&self.cycles, shards));
         }
+        self.publish_stats();
     }
 
     /// [`Session::infer`] with an explicit backend.
@@ -364,16 +465,25 @@ impl<'p> Session<'p> {
         backend: &dyn ExecutionBackend,
         request: &Request,
     ) -> InferenceReport {
+        self.fold(backend, request, SampleIds::Range(request.samples.clone()))
+    }
+
+    /// Serve `ids` and fold the stream into an [`InferenceReport`].
+    fn fold(
+        &mut self,
+        backend: &dyn ExecutionBackend,
+        request: &Request,
+        ids: SampleIds<'_>,
+    ) -> InferenceReport {
         let config = self.plan.effective_config(request);
         let units = self.plan.network().len() * config.timesteps();
-        let batch = request.samples.len();
+        let batch = ids.len();
 
         let mut flat = std::mem::take(&mut self.flat);
         flat.clear();
         flat.resize(batch * units, LayerSample::default());
-        let mut sink =
-            ReportSink { first: request.samples.start, units, flat: &mut flat, fleet: None };
-        self.run_with_backend(backend, request, &mut sink);
+        let mut sink = ReportSink { units, flat: &mut flat, fleet: None };
+        self.serve(backend, request, ids, &mut sink);
 
         let fleet = sink.fleet.take();
         let mut report = InferenceReport::fold_batch(
@@ -399,6 +509,57 @@ pub struct SessionStats {
     pub grows: u64,
     /// Parked worker-pool counters; `pool.spawned` is flat after warm-up.
     pub pool: PoolStats,
+}
+
+/// A cloneable, lock-free view onto a [`Session`]'s counters (see
+/// [`Session::stats_handle`]). The session publishes into the shared
+/// atomic cells at the end of every serving call; readers snapshot with
+/// relaxed loads and never touch the session itself, so a stats poll
+/// can run concurrently with serving without contending on anything.
+#[derive(Clone, Debug, Default)]
+pub struct SessionStatsHandle {
+    cells: Arc<StatsCells>,
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    runs: AtomicU64,
+    grows: AtomicU64,
+    spawned: AtomicU64,
+    jobs: AtomicU64,
+    wakeups: AtomicU64,
+    steals: AtomicU64,
+    park_ns: AtomicU64,
+}
+
+impl SessionStatsHandle {
+    /// The counters as of the last completed request. All-zero before the
+    /// first request finishes.
+    pub fn snapshot(&self) -> SessionStats {
+        let c = &*self.cells;
+        SessionStats {
+            runs: c.runs.load(Ordering::Relaxed),
+            grows: c.grows.load(Ordering::Relaxed),
+            pool: PoolStats {
+                spawned: c.spawned.load(Ordering::Relaxed),
+                jobs: c.jobs.load(Ordering::Relaxed),
+                wakeups: c.wakeups.load(Ordering::Relaxed),
+                steals: c.steals.load(Ordering::Relaxed),
+                park_ns: c.park_ns.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    fn publish(&self, stats: SessionStats) {
+        let c = &*self.cells;
+        c.runs.store(stats.runs, Ordering::Relaxed);
+        c.grows.store(stats.grows, Ordering::Relaxed);
+        c.spawned.store(stats.pool.spawned, Ordering::Relaxed);
+        c.jobs.store(stats.pool.jobs, Ordering::Relaxed);
+        c.wakeups.store(stats.pool.wakeups, Ordering::Relaxed);
+        c.steals.store(stats.pool.steals, Ordering::Relaxed);
+        c.park_ns.store(stats.pool.park_ns, Ordering::Relaxed);
+    }
 }
 
 impl std::fmt::Debug for Session<'_> {

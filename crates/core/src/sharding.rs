@@ -241,6 +241,22 @@ pub(crate) fn steal_chunks<S: Send>(
     });
 }
 
+/// Deterministic fleet attribution of per-sample cycle totals to `shards`
+/// simulated clusters: samples are dispatched in slice order, each to the
+/// shard with the least accumulated simulated cycles, exactly as
+/// [`Session`](crate::Session) and [`BatchScheduler`] attribute their
+/// batches. A pure function of its inputs, so a serving gateway that
+/// coalesces several requests into one run can re-attribute each request's
+/// own samples afterwards and obtain the bit-identical [`ShardSummary`] a
+/// bare single-request session run would have produced.
+pub fn attribute_shards(sample_cycles: &[f64], shards: usize) -> ShardSummary {
+    let mut set = ShardSet::new(shards.max(1)).with_dispatch_cycles(DISPATCH_CYCLES);
+    for &cycles in sample_cycles {
+        set.assign(cycles);
+    }
+    fleet_summary(&set)
+}
+
 /// Fleet statistics of a populated [`ShardSet`] — the one construction
 /// shared by the legacy [`BatchScheduler`] and the serving
 /// [`Session`](crate::Session), so sharded reports agree bit for bit no

@@ -1,6 +1,6 @@
 //! `spikestream` — the sharded batch-inference driver CLI.
 //!
-//! Three subcommands, all driven by declarative scenario files
+//! Four subcommands, all driven by declarative scenario files
 //! (`examples/scenarios/*.toml`):
 //!
 //! * `run` — run one scenario through the sharded batch driver and print
@@ -8,11 +8,18 @@
 //! * `bench` — sweep the same scenario over several shard counts and
 //!   report makespan, utilization, imbalance and effective speedup;
 //! * `compare` — run the scenario under both code variants (baseline vs
-//!   SpikeStream) and print per-layer and end-to-end speedups.
+//!   SpikeStream) and print per-layer and end-to-end speedups;
+//! * `serve-demo` — publish the scenario to a `spikestream-serve` gateway
+//!   and drive it from K concurrent client threads, printing the gateway
+//!   counters plus per-request latency percentiles.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use spikestream::{InferenceReport, Request, Scenario, TemporalEncoding, WorkloadMode};
+use spikestream_serve::{
+    Gateway, GatewayConfig, ResponseHandle, ServeError, SubmitOptions, BATCH_HIST_LABELS,
+};
 
 const USAGE: &str = "\
 spikestream — sharded batch-inference driver for the SpikeStream reproduction
@@ -21,6 +28,8 @@ USAGE:
     spikestream run <scenario.toml> [--shards N] [--batch N] [--timesteps N] [--workers N] [--json]
     spikestream bench <scenario.toml> [--shards N1,N2,...] [--timesteps N]
     spikestream compare <scenario.toml> [--shards N] [--timesteps N]
+    spikestream serve-demo <scenario.toml> [--clients K] [--requests-per-client M]
+                           [--max-batch B] [--linger-us L] [--queue-cap C] [--json]
     spikestream help
 
 Scenario files are a strict TOML subset; see examples/scenarios/ for
@@ -37,6 +46,16 @@ OPTIONS:
                       host parallelism; 1 = strictly sequential; the report
                       is bit-identical for every worker count)
     --json            Print the deterministic report JSON instead of tables
+                      (for serve-demo: counters + result digest, latencies
+                      excluded)
+
+SERVE-DEMO OPTIONS (defaults come from the scenario's [serve] table):
+    --clients K             Concurrent submitter threads (default 4)
+    --requests-per-client M Single-sample requests per client (default 8)
+    --max-batch B           Close a micro-batch at B samples
+    --linger-us L           Close a non-full micro-batch after L microseconds
+    --queue-cap C           Bounded per-tenant queue capacity (the demo
+                            raises it to K*M so the paced phase never blocks)
 ";
 
 const KEY_REFERENCE: &str = "\
@@ -63,6 +82,11 @@ Neuron-model keys (optional [neuron_model] table; overrides every layer):
     b           = 0.2             izhikevich: recovery sensitivity
     c           = -65.0           izhikevich: after-spike reset potential
     d           = 8.0             izhikevich: after-spike recovery increment
+
+Serving keys (optional [serve] table; defaults for `serve-demo`):
+    max_batch   = 64              close a micro-batch at this many samples
+    linger_us   = 200             close a non-full micro-batch after this long
+    queue_cap   = 256             bounded per-tenant queue capacity
 ";
 
 fn main() -> ExitCode {
@@ -75,6 +99,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
+        "serve-demo" => cmd_serve_demo(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}\n{KEY_REFERENCE}");
             return ExitCode::SUCCESS;
@@ -319,6 +344,246 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         streamed.energy_gain_over(&baseline),
     );
     Ok(())
+}
+
+/// Parsed `serve-demo` flags: the driver shape plus gateway-policy
+/// overrides (CLI flag beats `[serve]` table beats gateway default).
+struct ServeDemoOptions {
+    scenario: Scenario,
+    clients: usize,
+    requests_per_client: usize,
+    config: GatewayConfig,
+    json: bool,
+}
+
+fn parse_serve_demo_options(args: &[String]) -> Result<ServeDemoOptions, String> {
+    let mut path = None;
+    let mut clients = 4usize;
+    let mut requests_per_client = 8usize;
+    let mut max_batch = None;
+    let mut linger_us = None;
+    let mut queue_cap = None;
+    let mut json = false;
+
+    fn positive(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let parsed: usize = value.parse().map_err(|_| format!("bad {flag} value `{value}`"))?;
+        if parsed == 0 {
+            return Err(format!("{flag} must be >= 1"));
+        }
+        Ok(parsed)
+    }
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--clients" => clients = positive(&mut it, "--clients")?,
+            "--requests-per-client" => {
+                requests_per_client = positive(&mut it, "--requests-per-client")?
+            }
+            "--max-batch" => max_batch = Some(positive(&mut it, "--max-batch")?),
+            "--linger-us" => {
+                let value = it.next().ok_or("--linger-us needs a value")?;
+                let parsed: u64 =
+                    value.parse().map_err(|_| format!("bad --linger-us value `{value}`"))?;
+                linger_us = Some(parsed);
+            }
+            "--queue-cap" => queue_cap = Some(positive(&mut it, "--queue-cap")?),
+            "--json" => json = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let path = path.ok_or_else(|| format!("missing scenario file\n\n{USAGE}"))?;
+    let scenario = Scenario::from_file(std::path::Path::new(&path)).map_err(|e| e.to_string())?;
+    let defaults = GatewayConfig::default();
+    let table = scenario.serve.unwrap_or_default();
+    let config = GatewayConfig {
+        max_batch: max_batch.or(table.max_batch).unwrap_or(defaults.max_batch),
+        linger_us: linger_us.or(table.linger_us).unwrap_or(defaults.linger_us),
+        queue_cap: queue_cap.or(table.queue_cap).unwrap_or(defaults.queue_cap),
+    };
+    Ok(ServeDemoOptions { scenario, clients, requests_per_client, config, json })
+}
+
+fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
+    let opts = parse_serve_demo_options(args)?;
+    let total = opts.clients * opts.requests_per_client;
+    // The demo pauses the tenant while every client enqueues (so the batch
+    // composition — and therefore every counter — is a pure function of
+    // the flags, never of thread scheduling), which requires the queue to
+    // hold all K*M requests at once.
+    let mut config = opts.config;
+    config.queue_cap = config.queue_cap.max(total);
+
+    let plan = opts.scenario.compile().map_err(|e| e.to_string())?;
+    let batch = opts.scenario.config.batch;
+    let tenant = opts.scenario.name.clone();
+    let gateway = Gateway::new(config);
+    let version = gateway.publish(&tenant, plan).map_err(|e| e.to_string())?;
+    gateway.pause(&tenant).map_err(|e| e.to_string())?;
+
+    let started = Instant::now();
+    // Phase 1: K concurrent clients enqueue M single-sample requests each.
+    // Joining the scope proves every request is queued before resume.
+    type Submitted = Vec<Result<(Instant, ResponseHandle), ServeError>>;
+    let submitted: Vec<Submitted> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..opts.clients)
+            .map(|client| {
+                let gateway = &gateway;
+                let tenant = tenant.as_str();
+                let per_client = opts.requests_per_client;
+                scope.spawn(move || {
+                    (0..per_client)
+                        .map(|i| {
+                            let sample = (client * per_client + i) % batch;
+                            let at = Instant::now();
+                            gateway
+                                .submit_timeout(
+                                    tenant,
+                                    &[sample],
+                                    SubmitOptions::default(),
+                                    Duration::from_secs(60),
+                                )
+                                .map(|handle| (at, handle))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("client thread panicked")).collect()
+    });
+
+    // Phase 2: release the dispatcher and collect every response in
+    // deterministic (client, request) order.
+    gateway.resume(&tenant).map_err(|e| e.to_string())?;
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(total);
+    let mut digest = Fnv1a::new();
+    for per_client in submitted {
+        for entry in per_client {
+            let (at, handle) = entry.map_err(|e| e.to_string())?;
+            let response = handle.wait().map_err(|e| e.to_string())?;
+            latencies_us.push(at.elapsed().as_secs_f64() * 1e6);
+            digest.update(response.report().to_json().as_bytes());
+        }
+    }
+    let wall = started.elapsed();
+    let stats = gateway.stats();
+    gateway.shutdown();
+
+    if opts.json {
+        // Deterministic subset only: counters and the result digest are
+        // functions of the flags and the scenario, never of timing.
+        let hist: Vec<String> = stats.batch_hist.iter().map(u64::to_string).collect();
+        println!(
+            "{{\"scenario\":\"{}\",\"tenant_version\":{},\"clients\":{},\
+             \"requests_per_client\":{},\"max_batch\":{},\"queue_cap\":{},\
+             \"submitted\":{},\"completed\":{},\"rejected_full\":{},\"batches\":{},\
+             \"coalesced\":{},\"hot_swaps\":{},\"panics\":{},\"queue_depth\":{},\
+             \"batch_hist\":[{}],\"report_digest\":\"{:#018x}\"}}",
+            opts.scenario.name,
+            version,
+            opts.clients,
+            opts.requests_per_client,
+            config.max_batch,
+            config.queue_cap,
+            stats.submitted,
+            stats.completed,
+            stats.rejected_full,
+            stats.batches,
+            stats.coalesced,
+            stats.hot_swaps,
+            stats.panics,
+            stats.tenants.iter().map(|t| t.queue_depth).sum::<usize>(),
+            hist.join(","),
+            digest.finish(),
+        );
+        return Ok(());
+    }
+
+    println!(
+        "serve-demo `{}`: {} clients x {} requests · tenant v{} · max_batch {} · \
+         linger {} us · queue cap {}",
+        opts.scenario.name,
+        opts.clients,
+        opts.requests_per_client,
+        version,
+        config.max_batch,
+        config.linger_us,
+        config.queue_cap,
+    );
+    println!(
+        "gateway: {} submitted · {} completed · {} rejected · {} batches \
+         ({} coalesced) · {} hot swaps · {} panics",
+        stats.submitted,
+        stats.completed,
+        stats.rejected_full,
+        stats.batches,
+        stats.coalesced,
+        stats.hot_swaps,
+        stats.panics,
+    );
+    let sizes: Vec<String> = BATCH_HIST_LABELS
+        .iter()
+        .zip(stats.batch_hist.iter())
+        .map(|(label, count)| format!("{label}:{count}"))
+        .collect();
+    println!("batch sizes: {}", sizes.join(" "));
+    for t in &stats.tenants {
+        println!(
+            "tenant `{}`: v{} (serving v{}) · queue {} · session {{ samples {} · \
+             arena grows {} · pool jobs {} }}",
+            t.name,
+            t.version,
+            t.serving_version,
+            t.queue_depth,
+            t.session.runs,
+            t.session.grows,
+            t.session.pool.jobs,
+        );
+    }
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    println!(
+        "latency [us]: p50 {:.1} · p90 {:.1} · p99 {:.1} · max {:.1}",
+        percentile(&latencies_us, 0.50),
+        percentile(&latencies_us, 0.90),
+        percentile(&latencies_us, 0.99),
+        latencies_us.last().copied().unwrap_or(0.0),
+    );
+    println!("wall: {:.3} ms · report digest {:#018x}", wall.as_secs_f64() * 1e3, digest.finish());
+    Ok(())
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// FNV-1a 64-bit digest over the concatenated response reports — a cheap,
+/// dependency-free fingerprint the CI smoke pins against a golden.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 fn print_layer_table(report: &InferenceReport) {
